@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+The pytest-benchmark suite regenerates every table and figure of the paper.
+Libraries and matchers are built once per session; per-benchmark mapping runs
+are what the individual benchmark functions measure.
+"""
+
+import pytest
+
+from repro.core.families import LogicFamily
+from repro.core.library import build_library
+from repro.synthesis.matcher import matcher_for
+
+
+@pytest.fixture(scope="session")
+def libraries():
+    """The three Table-3 libraries, fully characterized."""
+    return {
+        family: build_library(family)
+        for family in (LogicFamily.TG_STATIC, LogicFamily.TG_PSEUDO, LogicFamily.CMOS)
+    }
+
+
+@pytest.fixture(scope="session")
+def matchers(libraries):
+    """Pre-built Boolean matchers (shared across all mapping benchmarks)."""
+    return {family: matcher_for(library) for family, library in libraries.items()}

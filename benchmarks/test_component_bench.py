@@ -1,0 +1,65 @@
+"""Component micro-benchmarks for the synthesis substrate.
+
+These complement the table/figure harness by timing the individual stages of
+the flow (library construction, matcher construction, optimization, cut
+enumeration, mapping) on a fixed mid-size circuit, so performance regressions
+in any one stage are visible in isolation.
+"""
+
+import pytest
+
+from repro.bench.generators.adders import ripple_adder_circuit
+from repro.bench.generators.multiplier import array_multiplier_circuit
+from repro.core.families import LogicFamily, build_family_cells
+from repro.core.library import build_library
+from repro.synthesis.cuts import enumerate_cuts
+from repro.synthesis.mapper import technology_map
+from repro.synthesis.matcher import LibraryMatcher
+from repro.synthesis.optimize import balance, optimize, rewrite
+
+
+@pytest.fixture(scope="module")
+def multiplier_aig():
+    return array_multiplier_circuit(8)
+
+
+def test_bench_library_construction(benchmark):
+    """Build and verify all 46 static transmission-gate cells."""
+    cells = benchmark(build_family_cells, LogicFamily.TG_STATIC)
+    assert len(cells) == 46
+
+
+def test_bench_matcher_construction(benchmark):
+    """Enumerate the permutation/phase match tables of the static library."""
+    library = build_library(LogicFamily.TG_STATIC)
+    matcher = benchmark(LibraryMatcher, library)
+    assert len(matcher) > 1000
+
+
+def test_bench_balance(benchmark, multiplier_aig):
+    balanced = benchmark(balance, multiplier_aig)
+    assert balanced.depth() <= multiplier_aig.depth()
+
+
+def test_bench_rewrite(benchmark, multiplier_aig):
+    rewritten = benchmark(rewrite, multiplier_aig)
+    assert rewritten.num_ands > 0
+
+
+def test_bench_optimize_adder(benchmark):
+    aig = ripple_adder_circuit(32)
+    optimized = benchmark(optimize, aig)
+    assert optimized.num_ands <= aig.num_ands
+
+
+def test_bench_cut_enumeration(benchmark, multiplier_aig):
+    cuts = benchmark(enumerate_cuts, multiplier_aig)
+    assert len(cuts) >= multiplier_aig.num_ands
+
+
+def test_bench_mapping_only(benchmark, multiplier_aig, libraries, matchers):
+    """Technology mapping alone (cuts + matching + covering) on an 8x8 multiplier."""
+    library = libraries[LogicFamily.TG_STATIC]
+    matcher = matchers[LogicFamily.TG_STATIC]
+    mapped = benchmark(technology_map, multiplier_aig, library, matcher)
+    assert mapped.gate_count > 0

@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Figure 6 (per-benchmark CMOS-to-CNTFET delay ratios).
+
+Runs the mapping flow over a representative subset covering each circuit
+class (arithmetic, error correction, ALU/control, random logic) and checks
+the shape of the Figure-6 series: every ratio above one, the XOR-rich
+circuits at the top, and the average in the range the paper reports.
+"""
+
+import pytest
+
+from repro.experiments.figure6 import figure6_from_table3
+from repro.experiments.table3 import run_table3
+
+SUBSET = ("add-16", "add-32", "C1355", "C1908", "t481", "i18", "dalu")
+
+
+def _figure6_subset():
+    return figure6_from_table3(run_table3(benchmark_names=SUBSET))
+
+
+def test_figure6_series(benchmark):
+    """Figure 6: speed-up series over a class-representative benchmark subset."""
+    figure = benchmark.pedantic(_figure6_subset, iterations=1, rounds=1)
+    series = figure.series()
+
+    # Every benchmark is faster on CNTFETs in absolute terms.
+    assert all(entry["static"] > 1.0 for entry in series.values())
+    assert all(entry["pseudo"] > 1.0 for entry in series.values())
+
+    # XOR-rich circuits (adders, ECC) sit above the control-logic circuits,
+    # the ordering Figure 6 displays.
+    xor_rich = min(series[name]["static"] for name in ("add-16", "add-32", "C1355", "C1908"))
+    control = min(series[name]["static"] for name in ("i18",))
+    assert xor_rich > control
+
+    # The subset average lands in the neighbourhood of the paper's 6.9x.
+    assert 4.0 < figure.average_static_speedup < 12.0

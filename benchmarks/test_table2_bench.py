@@ -1,0 +1,46 @@
+"""Benchmark: regenerate Table 2 (library construction + characterization).
+
+Each benchmark measures the cost of building and characterizing one logic
+family from the transistor-level construction rules, and asserts that the
+measured family averages land near the published Table-2 averages.
+"""
+
+import pytest
+
+from repro.core.characterize import characterize_family
+from repro.core.families import LogicFamily, build_family_cells
+from repro.core.library import GateLibrary
+from repro.core.paper_data import PAPER_TABLE2_AVERAGES
+from repro.experiments.table2 import FAMILY_KEYS, run_table2
+
+
+def _build_and_characterize(family: LogicFamily):
+    cells = build_family_cells(family)
+    library = GateLibrary(family=family, cells=cells)
+    return characterize_family(library)
+
+
+@pytest.mark.parametrize(
+    "family",
+    [LogicFamily.TG_STATIC, LogicFamily.TG_PSEUDO, LogicFamily.PASS_PSEUDO, LogicFamily.CMOS],
+    ids=lambda f: f.value,
+)
+def test_table2_family_characterization(benchmark, family):
+    """Table 2: build + characterize one family; compare averages with the paper."""
+    rows, summary = benchmark(_build_and_characterize, family)
+    paper = PAPER_TABLE2_AVERAGES[FAMILY_KEYS[family]]
+    assert summary.average_area == pytest.approx(paper.area, rel=0.06)
+    assert summary.average_fo4 == pytest.approx(paper.fo4_average, rel=0.20)
+    assert len(rows) == (7 if family is LogicFamily.CMOS else 46)
+
+
+def test_table2_full_experiment(benchmark):
+    """Table 2: the complete four-family experiment as run by the harness."""
+    result = benchmark(run_table2)
+    static = result.summaries[LogicFamily.TG_STATIC]
+    cmos = result.summaries[LogicFamily.CMOS]
+    # The headline Table-2 observation: the CNTFET static library implements
+    # far more complex functions at a slightly smaller average area and a
+    # comparable average FO4 delay.
+    assert static.average_area < cmos.average_area * 1.02
+    assert static.average_fo4 < cmos.average_fo4 * 1.15

@@ -1,0 +1,49 @@
+"""Reproduce the adder rows of Table 3 and their Figure-6 speed-ups.
+
+The add-16 / add-32 / add-64 benchmarks are exact reconstructions of the
+paper's circuits, so this is the closest apples-to-apples comparison the
+reproduction offers: the script maps each adder onto the CNTFET static,
+CNTFET pseudo and CMOS libraries and prints measured-vs-paper rows.
+
+Run with:  python examples/adder_mapping.py
+"""
+
+from repro.core.families import LogicFamily
+from repro.core.paper_data import paper_benchmark
+from repro.experiments.table3 import run_table3
+
+FAMILY_LABEL = {
+    LogicFamily.TG_STATIC: "CNTFET static",
+    LogicFamily.TG_PSEUDO: "CNTFET pseudo",
+    LogicFamily.CMOS: "CMOS",
+}
+
+
+def main() -> None:
+    result = run_table3(benchmark_names=("add-16", "add-32", "add-64"))
+    for row in result.rows:
+        paper = paper_benchmark(row.name)
+        paper_by_family = {
+            LogicFamily.TG_STATIC: paper.tg_static,
+            LogicFamily.TG_PSEUDO: paper.tg_pseudo,
+            LogicFamily.CMOS: paper.cmos,
+        }
+        print(f"\n{row.name}  ({row.aig_nodes} AND nodes after optimization)")
+        print(f"  {'family':<15} {'gates':>12} {'area':>14} {'levels':>12} {'abs delay ps':>18}")
+        for family, stats in row.results.items():
+            p = paper_by_family[family]
+            print(
+                f"  {FAMILY_LABEL[family]:<15} "
+                f"{stats.gates:>5d} ({p.gates:>4d}) "
+                f"{stats.area:>7.0f} ({p.area:>5.0f}) "
+                f"{stats.levels:>5d} ({p.levels:>3d}) "
+                f"{stats.absolute_delay_ps:>8.1f} ({p.absolute_delay_ps:>7.1f})"
+            )
+        static_speedup = row.speedup_vs_cmos(LogicFamily.TG_STATIC)
+        paper_speedup = paper.cmos.absolute_delay_ps / paper.tg_static.absolute_delay_ps
+        print(f"  Figure-6 speed-up (static vs CMOS): {static_speedup:.2f}x "
+              f"(paper: {paper_speedup:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Explore the gate library: Table 1, Table 2 characterization and genlib export.
+
+Prints the 46 Table-1 functions, the characterization of a few representative
+cells in every family (measured next to the published Table-2 values), and
+writes genlib files for the static and pseudo libraries -- the artefact the
+paper fed to ABC for technology mapping.
+
+Run with:  python examples/library_explorer.py
+"""
+
+from pathlib import Path
+
+from repro.core import (
+    LogicFamily,
+    TABLE1_FUNCTIONS,
+    build_library,
+    characterize_cell,
+)
+from repro.core.paper_data import PAPER_TABLE2
+from repro.experiments.table2 import FAMILY_KEYS, run_table2
+from repro.experiments.report import render_table2
+
+SHOWCASE = ("F00", "F01", "F05", "F09", "F16", "F29", "F42")
+
+
+def main() -> None:
+    print("Table 1 -- the 46 ambipolar CNTFET logic functions")
+    for spec in TABLE1_FUNCTIONS:
+        marker = "   " if spec.uses_xor() else "(*)"
+        print(f"  {spec.function_id} {marker} {spec.expression_text}")
+    print("  (*) = also realizable by the 7-cell CMOS reference library\n")
+
+    for family in (LogicFamily.TG_STATIC, LogicFamily.TG_PSEUDO, LogicFamily.PASS_PSEUDO):
+        library = build_library(family)
+        key = FAMILY_KEYS[family]
+        print(f"Representative cells, {library.name}:")
+        for function_id in SHOWCASE:
+            row = characterize_cell(library.cell(function_id))
+            paper = PAPER_TABLE2[function_id][key]
+            print(
+                f"  {function_id}: T={row.transistors:<2d} (paper {paper.transistors:<2d})  "
+                f"A={row.area:<5.1f} (paper {paper.area:<5.1f})  "
+                f"FO4 avg={row.fo4_average:<5.1f} (paper {paper.fo4_average:<5.1f})"
+            )
+        print()
+
+    print(render_table2(run_table2()))
+
+    out_dir = Path(__file__).resolve().parent / "generated"
+    out_dir.mkdir(exist_ok=True)
+    for family in (LogicFamily.TG_STATIC, LogicFamily.TG_PSEUDO, LogicFamily.CMOS):
+        library = build_library(family)
+        path = out_dir / f"{library.name}.genlib"
+        path.write_text(library.to_genlib())
+        print(f"\nwrote {path} ({len(library)} gates)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The environment has setuptools but no ``wheel`` package, so PEP 660 editable
+installs (which must build a wheel) fail offline.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` fall back to the
+classic ``setup.py develop`` path; configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

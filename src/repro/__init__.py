@@ -1,0 +1,37 @@
+"""repro: reproduction of the DATE 2009 ambipolar-CNTFET gate-library paper.
+
+Public API surface (see README.md for a walkthrough):
+
+* the gate library -- :func:`repro.core.build_library`,
+  :class:`repro.core.LogicFamily`, :data:`repro.core.TABLE1_FUNCTIONS`;
+* the synthesis flow -- :class:`repro.synthesis.CircuitBuilder`,
+  :func:`repro.synthesis.optimize`, :func:`repro.synthesis.technology_map`,
+  :func:`repro.synthesis.read_blif` / :func:`repro.synthesis.write_blif`;
+* the experiment harness -- :func:`repro.experiments.run_table2`,
+  :func:`repro.experiments.run_table3`, :func:`repro.experiments.run_figure6`;
+* the benchmark generators -- :data:`repro.bench.BENCHMARKS`,
+  :func:`repro.bench.build_benchmark`.
+"""
+
+from repro.core import LogicFamily, TABLE1_FUNCTIONS, build_library
+from repro.synthesis import (
+    CircuitBuilder,
+    optimize,
+    read_blif,
+    technology_map,
+    write_blif,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "LogicFamily",
+    "TABLE1_FUNCTIONS",
+    "build_library",
+    "CircuitBuilder",
+    "optimize",
+    "technology_map",
+    "read_blif",
+    "write_blif",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Benchmark-circuit generators.
+
+The paper maps 15 multi-level benchmarks (Table 3): ISCAS-85 circuits
+(C1355, C1908, C2670, C3540, C5315, C6288, C7552), MCNC circuits (dalu, des,
+i10, i18, t481) and three ripple adders (add-16/32/64).  The original netlist
+files are not redistributable, so this subpackage generates functional
+stand-ins of the same circuit classes and comparable sizes -- exact
+generators for the adders, and structural generators (array multiplier,
+Hamming-style error correction, ALU + control slices, a reduced DES datapath,
+and multi-level control logic) for the rest.  See DESIGN.md, Sec. 4 for the
+substitution rationale.
+"""
+
+from repro.bench.registry import (
+    BenchmarkCase,
+    BENCHMARKS,
+    benchmark_by_name,
+    build_benchmark,
+)
+
+__all__ = ["BenchmarkCase", "BENCHMARKS", "benchmark_by_name", "build_benchmark"]

@@ -1,0 +1,22 @@
+"""Structural generators for the Table-3 benchmark classes."""
+
+from repro.bench.generators.adders import ripple_adder_circuit
+from repro.bench.generators.multiplier import array_multiplier_circuit
+from repro.bench.generators.ecc import hamming_circuit
+from repro.bench.generators.alu import alu_control_circuit, dedicated_alu_circuit
+from repro.bench.generators.des import des_round_circuit
+from repro.bench.generators.logic_misc import (
+    random_control_logic_circuit,
+    symmetric_logic_circuit,
+)
+
+__all__ = [
+    "ripple_adder_circuit",
+    "array_multiplier_circuit",
+    "hamming_circuit",
+    "alu_control_circuit",
+    "dedicated_alu_circuit",
+    "des_round_circuit",
+    "random_control_logic_circuit",
+    "symmetric_logic_circuit",
+]

@@ -1,0 +1,75 @@
+"""Error-correcting circuits (the C1355 / C1908 class of Table 3).
+
+ISCAS-85 C1355 and C1908 are 32-bit single-error-correcting (SEC) channel
+circuits built around Hamming parity trees.  The generator below produces a
+complete SEC pipeline for a configurable data width: parity-check computation
+over the received code word, syndrome decoding, and correction of the flagged
+bit.  Parity trees are pure XOR logic, which is why this class shows some of
+the largest CNTFET gains in the paper (more than 8x speed-up).
+"""
+
+from __future__ import annotations
+
+from repro.synthesis.aig import Aig, AigLiteral
+from repro.synthesis.builder import CircuitBuilder
+
+
+def _parity_positions(parity_index: int, code_length: int) -> list[int]:
+    """1-based code-word positions covered by Hamming parity bit ``parity_index``."""
+    mask = 1 << parity_index
+    return [pos for pos in range(1, code_length + 1) if pos & mask]
+
+
+def hamming_circuit(
+    data_width: int = 32, corrected_output: bool = True, name: str | None = None
+) -> Aig:
+    """A Hamming single-error-correcting receiver for ``data_width`` data bits.
+
+    Inputs are the received code word (data bits plus parity bits in Hamming
+    positions); outputs are the syndrome, a corrected-data bus (when
+    ``corrected_output`` is set, as in C1908) and an error flag.
+    """
+    if data_width < 4:
+        raise ValueError("data width must be at least 4")
+    parity_count = 0
+    while (1 << parity_count) < data_width + parity_count + 1:
+        parity_count += 1
+    code_length = data_width + parity_count
+
+    builder = CircuitBuilder(name or f"hamming-{data_width}")
+    received = builder.input_bus("r", code_length)
+
+    # Position map: 1-based code positions; powers of two carry parity bits.
+    position_literal: dict[int, AigLiteral] = {}
+    for position in range(1, code_length + 1):
+        position_literal[position] = received[position - 1]
+
+    # Syndrome: XOR of every covered position per parity index.
+    syndrome: list[AigLiteral] = []
+    for parity_index in range(parity_count):
+        covered = [position_literal[p] for p in _parity_positions(parity_index, code_length)]
+        syndrome.append(builder.parity(covered))
+    builder.output_bus("syndrome", syndrome)
+
+    error = builder.or_(*syndrome)
+    builder.output("error", error)
+
+    if corrected_output:
+        # Decode the syndrome to a one-hot error position and flip that bit.
+        data_positions = [
+            p for p in range(1, code_length + 1) if (p & (p - 1)) != 0
+        ]  # non-powers of two carry data
+        for out_index, position in enumerate(data_positions[:data_width]):
+            # flagged = (syndrome == position)
+            terms = []
+            for parity_index in range(parity_count):
+                bit = syndrome[parity_index]
+                if (position >> parity_index) & 1:
+                    terms.append(bit)
+                else:
+                    terms.append(builder.not_(bit))
+            flagged = builder.and_(*terms)
+            corrected = builder.xor_(position_literal[position], flagged)
+            builder.output(f"d[{out_index}]", corrected)
+
+    return builder.finish()

@@ -1,0 +1,120 @@
+"""Generic multi-level control logic (the i10 / i18 / t481 class of Table 3).
+
+The MCNC circuits i10 and i18 are large flat "logic" benchmarks without a
+published arithmetic structure, and t481 is a single-output 16-input
+symmetric-style function.  As stand-ins we provide:
+
+* :func:`random_control_logic_circuit` -- deterministic pseudo-random
+  multi-level unate-dominated logic with a configurable number of inputs,
+  outputs and levels (i10 / i18 class); and
+* :func:`symmetric_logic_circuit` -- a single-output circuit computing a
+  threshold/interval predicate of the population count of its inputs
+  (t481 class: wide, single output, reconvergent).
+
+These circuits are intentionally *not* XOR-rich: the paper reports the
+smallest CNTFET gains (sometimes parity with CMOS) for this class, and the
+stand-ins preserve that contrast with the arithmetic benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.synthesis.aig import Aig, AigLiteral
+from repro.synthesis.builder import CircuitBuilder
+
+
+def random_control_logic_circuit(
+    num_inputs: int = 64,
+    num_outputs: int = 48,
+    levels: int = 6,
+    width_factor: float = 1.5,
+    xor_fraction: float = 0.08,
+    seed: int = 10,
+    name: str | None = None,
+) -> Aig:
+    """Deterministic pseudo-random multi-level control logic.
+
+    Each level combines randomly chosen (possibly complemented) signals from
+    the previous level with AND/OR nodes; a small ``xor_fraction`` of XOR
+    nodes reflects the occasional parity found in real control logic.
+    """
+    if num_inputs < 4:
+        raise ValueError("at least 4 inputs are required")
+    if not 0 <= xor_fraction <= 1:
+        raise ValueError("xor_fraction must be between 0 and 1")
+    builder = CircuitBuilder(name or f"logic-{num_inputs}x{num_outputs}")
+    rng = random.Random(seed)
+    level = builder.input_bus("x", num_inputs)
+
+    for depth in range(levels):
+        width = max(int(len(level) * width_factor) if depth == 0 else len(level), num_outputs)
+        width = max(width // (2 if depth >= levels - 2 else 1), num_outputs)
+        next_level: list[AigLiteral] = []
+        for _ in range(width):
+            fan_in = rng.randint(2, 4)
+            chosen = rng.sample(level, k=min(fan_in, len(level)))
+            literals = [
+                builder.not_(lit) if rng.random() < 0.4 else lit for lit in chosen
+            ]
+            draw = rng.random()
+            if draw < xor_fraction:
+                next_level.append(builder.xor_(literals[0], literals[1]))
+            elif draw < xor_fraction + (1 - xor_fraction) / 2:
+                next_level.append(builder.and_(*literals))
+            else:
+                next_level.append(builder.or_(*literals))
+        level = next_level
+
+    for index in range(num_outputs):
+        builder.output(f"y[{index}]", level[index % len(level)])
+    return builder.finish()
+
+
+def symmetric_logic_circuit(
+    num_inputs: int = 16, thresholds: tuple[int, ...] = (3, 7, 11), name: str | None = None
+) -> Aig:
+    """A single-output symmetric predicate over ``num_inputs`` inputs.
+
+    The output is true when the population count of the inputs lies in the
+    union of the intervals delimited by ``thresholds`` (an alternating
+    interval predicate), computed structurally with a bit-counting adder tree
+    followed by interval comparators -- a wide, single-output, reconvergent
+    circuit in the spirit of t481.
+    """
+    if num_inputs < 4:
+        raise ValueError("at least 4 inputs are required")
+    builder = CircuitBuilder(name or f"sym-{num_inputs}")
+    inputs = builder.input_bus("x", num_inputs)
+
+    # Population count via an adder tree of growing word widths.
+    words: list[list[AigLiteral]] = [[bit] for bit in inputs]
+    while len(words) > 1:
+        merged: list[list[AigLiteral]] = []
+        for i in range(0, len(words) - 1, 2):
+            a, b = words[i], words[i + 1]
+            width = max(len(a), len(b)) + 1
+            a = a + [builder.zero] * (width - len(a))
+            b = b + [builder.zero] * (width - len(b))
+            total, carry = builder.ripple_adder(a[: width - 1], b[: width - 1])
+            merged.append(total + [carry])
+        if len(words) % 2:
+            merged.append(words[-1])
+        words = merged
+    count = words[0]
+
+    def at_least(value: int) -> AigLiteral:
+        # count >= value  <=>  count - value does not borrow.
+        constant = builder.constant_bus(value, len(count))
+        _, carry = builder.subtractor(count, constant)
+        return carry
+
+    # Alternating interval membership: [t0, t1) U [t2, t3) U ...
+    terms: list[AigLiteral] = []
+    bounds = list(thresholds) + [num_inputs + 1]
+    for i in range(0, len(thresholds), 2):
+        lower = at_least(bounds[i])
+        upper = builder.not_(at_least(bounds[i + 1])) if i + 1 < len(bounds) else builder.one
+        terms.append(builder.and_(lower, upper))
+    builder.output("y", builder.or_(*terms))
+    return builder.finish()

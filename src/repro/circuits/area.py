@@ -1,0 +1,24 @@
+"""Normalized area model.
+
+The paper estimates gate area "in a normalized manner as the number of
+transistors multiplied by their respective aspect ratios (W/L)" (Sec. 4.3),
+i.e. the sum of device widths in unit-transistor areas.  The polarity gate is
+buried underneath the channel or defined on top of the actual gate, so it
+adds no drawn area (Sec. 4.4).
+"""
+
+from __future__ import annotations
+
+from repro.circuits.netlist import CellNetlist
+
+
+def cell_area(netlist: CellNetlist, with_output_inverter: bool = False) -> float:
+    """Normalized area of a cell (sum of W/L over all devices).
+
+    With ``with_output_inverter`` the area of the unit inverter that provides
+    the complementary output polarity (paper Sec. 4.3) is added.
+    """
+    area = sum(device.width for device in netlist.devices)
+    if with_output_inverter:
+        area += netlist.technology.inverter_area
+    return area

@@ -1,0 +1,102 @@
+"""Unit-drive sizing rules (paper Sec. 4.1 and 4.2).
+
+Every library cell is sized so that its output drive matches a unit inverter:
+the worst-case resistance of each pull network equals the target resistance
+(1 for static families, 3/4 for the pseudo pull-down networks so that the
+1/3-wide always-on load is exactly four times weaker).
+
+The allocation is recursive over the series-parallel structure:
+
+* a series composition of ``k`` blocks gives each block ``target / k`` of the
+  resistance budget (so devices in longer stacks are proportionally wider);
+* a parallel composition gives each branch the full budget (any single branch
+  must be able to carry the unit drive on its own).
+
+Leaf switches translate a resistance budget ``r`` into device widths:
+
+* plain n-type (p-type) transistor: ``W = 1 / r`` (``W = ratio / r`` where the
+  ratio is 1 for CNTFETs and 2 for CMOS p-devices);
+* transmission gate: each of the two devices gets ``W = (2/3) / r`` because
+  the strong device (``1/W``) in parallel with the weak-direction one
+  (``2/W``) yields ``(2/3)/W``;
+* ambipolar pass transistor: ``W = 2 / r`` (worst-case weak-direction
+  conduction at ``2R``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.sp_network import (
+    LiteralSwitch,
+    Parallel,
+    Series,
+    SwitchNetwork,
+    XorSwitch,
+)
+from repro.devices.models import Technology
+
+#: The pseudo families make the pull-up load four times weaker than the
+#: pull-down network (paper Sec. 4.2): the PD network targets 3/4 of the unit
+#: resistance and the always-on load is 1/3 wide (resistance 3).
+PSEUDO_PULL_DOWN_TARGET = 0.75
+PSEUDO_LOAD_WIDTH = 1.0 / 3.0
+
+#: Equivalent-resistance factor of a transmission gate relative to one of its
+#: two devices (strong direction in parallel with weak direction).
+TRANSMISSION_GATE_FACTOR = 2.0 / 3.0
+
+#: Worst-case resistance factor of a single ambipolar pass transistor.
+PASS_TRANSISTOR_FACTOR = 2.0
+
+
+@dataclass(frozen=True)
+class LeafSizing:
+    """Resistance budget assigned to one leaf switch of a pull network."""
+
+    leaf: LiteralSwitch | XorSwitch
+    resistance: float
+
+
+def allocate_resistance(
+    network: SwitchNetwork, target_resistance: float
+) -> list[LeafSizing]:
+    """Assign a resistance budget to every leaf of a series-parallel network."""
+    if target_resistance <= 0:
+        raise ValueError("target resistance must be positive")
+    result: list[LeafSizing] = []
+
+    def visit(node: SwitchNetwork, budget: float) -> None:
+        if isinstance(node, (LiteralSwitch, XorSwitch)):
+            result.append(LeafSizing(node, budget))
+        elif isinstance(node, Series):
+            share = budget / len(node.children)
+            for child in node.children:
+                visit(child, share)
+        elif isinstance(node, Parallel):
+            for child in node.children:
+                visit(child, budget)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown network node {node!r}")
+
+    visit(network, target_resistance)
+    return result
+
+
+def literal_device_width(
+    resistance: float, pull_up: bool, technology: Technology
+) -> float:
+    """Width of a plain transistor realizing a literal switch with the given budget."""
+    if pull_up:
+        return technology.p_width_for_resistance(resistance)
+    return technology.n_width_for_resistance(resistance)
+
+
+def transmission_gate_width(resistance: float) -> float:
+    """Width of each device of a transmission gate with the given budget."""
+    return TRANSMISSION_GATE_FACTOR / resistance
+
+
+def pass_transistor_width(resistance: float) -> float:
+    """Width of a single pass transistor with the given worst-case budget."""
+    return PASS_TRANSISTOR_FACTOR / resistance

@@ -1,0 +1,245 @@
+"""Series-parallel switch networks.
+
+A pull network (PU or PD) of a library cell is described as a series-parallel
+composition of two kinds of switches:
+
+* a *literal switch* -- a single transistor conducting when its controlling
+  literal is true;
+* an *XOR switch* -- a CNTFET transmission gate (or pass transistor in the
+  compact families) conducting when the XOR of two literals is true.  This is
+  the element that gives the ambipolar library its extra expressive power
+  (Sec. 3.1 of the paper).
+
+The pull-down network of a cell realizes the cell's Table-1 function ``F``
+directly (the cell output node then carries ``not F``); the pull-up network of
+a static cell is the *dual* network, obtained by swapping series and parallel
+composition and complementing the conduction condition of every leaf.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from repro.devices.transistor import Literal
+from repro.logic.expr import And, Const, Expr, Not, Or, Var, Xor
+from repro.logic.truth_table import TruthTable
+
+
+class SwitchNetwork:
+    """Base class of the series-parallel switch algebra."""
+
+    def conducts(self, assignment: Mapping[str, bool]) -> bool:
+        """Whether the network conducts under the given variable assignment."""
+        raise NotImplementedError
+
+    def dual(self) -> "SwitchNetwork":
+        """The complementary network (conducts exactly when this one does not)."""
+        raise NotImplementedError
+
+    def leaves(self) -> Iterator["LiteralSwitch | XorSwitch"]:
+        """All leaf switches in left-to-right order."""
+        raise NotImplementedError
+
+    def series_depth(self) -> int:
+        """Maximum number of leaf switches in series along any conduction path."""
+        raise NotImplementedError
+
+    def signals(self) -> tuple[str, ...]:
+        """Sorted distinct signal names controlling the network."""
+        names: set[str] = set()
+        for leaf in self.leaves():
+            if isinstance(leaf, LiteralSwitch):
+                names.add(leaf.literal.name)
+            else:
+                names.add(leaf.first.name)
+                names.add(leaf.second.name)
+        return tuple(sorted(names))
+
+    def conduction_table(self, variable_order: Sequence[str]) -> TruthTable:
+        """Truth table of the conduction condition over ``variable_order``."""
+        index = {name: i for i, name in enumerate(variable_order)}
+        for name in self.signals():
+            if name not in index:
+                raise ValueError(f"signal {name!r} missing from variable order")
+        bits = 0
+        for minterm in range(1 << len(variable_order)):
+            assignment = {
+                name: bool((minterm >> index[name]) & 1) for name in variable_order
+            }
+            if self.conducts(assignment):
+                bits |= 1 << minterm
+        return TruthTable(len(variable_order), bits)
+
+    def leaf_count(self) -> int:
+        return sum(1 for _ in self.leaves())
+
+
+@dataclass(frozen=True)
+class LiteralSwitch(SwitchNetwork):
+    """A single-transistor switch conducting when ``literal`` is true."""
+
+    literal: Literal
+
+    def conducts(self, assignment: Mapping[str, bool]) -> bool:
+        return self.literal.evaluate(assignment)
+
+    def dual(self) -> "SwitchNetwork":
+        return LiteralSwitch(self.literal.complement())
+
+    def leaves(self) -> Iterator["LiteralSwitch | XorSwitch"]:
+        yield self
+
+    def series_depth(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class XorSwitch(SwitchNetwork):
+    """A transmission-gate / pass-transistor switch conducting when ``first ^ second``."""
+
+    first: Literal
+    second: Literal
+
+    def conducts(self, assignment: Mapping[str, bool]) -> bool:
+        return self.first.evaluate(assignment) != self.second.evaluate(assignment)
+
+    def dual(self) -> "SwitchNetwork":
+        # XNOR of (first, second) equals XOR of (first, second').
+        return XorSwitch(self.first, self.second.complement())
+
+    def leaves(self) -> Iterator["LiteralSwitch | XorSwitch"]:
+        yield self
+
+    def series_depth(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class Series(SwitchNetwork):
+    """Series composition: conducts when every child conducts."""
+
+    children: tuple[SwitchNetwork, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.children) < 2:
+            raise ValueError("a series composition needs at least two children")
+
+    def conducts(self, assignment: Mapping[str, bool]) -> bool:
+        return all(child.conducts(assignment) for child in self.children)
+
+    def dual(self) -> "SwitchNetwork":
+        return Parallel(tuple(child.dual() for child in self.children))
+
+    def leaves(self) -> Iterator["LiteralSwitch | XorSwitch"]:
+        for child in self.children:
+            yield from child.leaves()
+
+    def series_depth(self) -> int:
+        return sum(child.series_depth() for child in self.children)
+
+
+@dataclass(frozen=True)
+class Parallel(SwitchNetwork):
+    """Parallel composition: conducts when at least one child conducts."""
+
+    children: tuple[SwitchNetwork, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.children) < 2:
+            raise ValueError("a parallel composition needs at least two children")
+
+    def conducts(self, assignment: Mapping[str, bool]) -> bool:
+        return any(child.conducts(assignment) for child in self.children)
+
+    def dual(self) -> "SwitchNetwork":
+        return Series(tuple(child.dual() for child in self.children))
+
+    def leaves(self) -> Iterator["LiteralSwitch | XorSwitch"]:
+        for child in self.children:
+            yield from child.leaves()
+
+    def series_depth(self) -> int:
+        return max(child.series_depth() for child in self.children)
+
+
+def series(*children: SwitchNetwork) -> SwitchNetwork:
+    """Series composition helper that flattens nested series networks."""
+    flat: list[SwitchNetwork] = []
+    for child in children:
+        if isinstance(child, Series):
+            flat.extend(child.children)
+        else:
+            flat.append(child)
+    if len(flat) == 1:
+        return flat[0]
+    return Series(tuple(flat))
+
+
+def parallel(*children: SwitchNetwork) -> SwitchNetwork:
+    """Parallel composition helper that flattens nested parallel networks."""
+    flat: list[SwitchNetwork] = []
+    for child in children:
+        if isinstance(child, Parallel):
+            flat.extend(child.children)
+        else:
+            flat.append(child)
+    if len(flat) == 1:
+        return flat[0]
+    return Parallel(tuple(flat))
+
+
+class NetworkCompilationError(ValueError):
+    """Raised when an expression cannot be compiled into a switch network."""
+
+
+def _expr_to_literal(expr: Expr) -> Literal | None:
+    if isinstance(expr, Var):
+        return Literal(expr.name)
+    if isinstance(expr, Not):
+        inner = _expr_to_literal(expr.operand)
+        if inner is not None:
+            return inner.complement()
+    return None
+
+
+def network_from_expr(expr: Expr, allow_xor: bool = True) -> SwitchNetwork:
+    """Compile a Table-1 style expression into a switch network.
+
+    AND maps to series composition, OR to parallel composition, a literal to a
+    literal switch and ``u ^ v`` (literals only) to an XOR switch.  With
+    ``allow_xor=False`` (used for the CMOS reference family) XOR operators are
+    rejected, reproducing the restriction that CMOS networks can only realize
+    unate series-parallel pull functions.
+    """
+    literal = _expr_to_literal(expr)
+    if literal is not None:
+        return LiteralSwitch(literal)
+    if isinstance(expr, And):
+        return series(
+            network_from_expr(expr.left, allow_xor),
+            network_from_expr(expr.right, allow_xor),
+        )
+    if isinstance(expr, Or):
+        return parallel(
+            network_from_expr(expr.left, allow_xor),
+            network_from_expr(expr.right, allow_xor),
+        )
+    if isinstance(expr, Xor):
+        if not allow_xor:
+            raise NetworkCompilationError(
+                "XOR terms require ambipolar devices and are not available in CMOS networks"
+            )
+        left = _expr_to_literal(expr.left)
+        right = _expr_to_literal(expr.right)
+        if left is None or right is None:
+            raise NetworkCompilationError(
+                "XOR switches only support literal operands (as in Table 1)"
+            )
+        return XorSwitch(left, right)
+    if isinstance(expr, Not):
+        # Push the complement down by compiling the dual of the operand.
+        return network_from_expr(expr.operand, allow_xor).dual()
+    if isinstance(expr, Const):
+        raise NetworkCompilationError("constant functions have no pull network")
+    raise NetworkCompilationError(f"unsupported expression node: {expr!r}")

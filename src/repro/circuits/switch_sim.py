@@ -1,0 +1,179 @@
+"""Switch-level simulation of cell netlists.
+
+Verifies, for every input assignment, that
+
+* the cell output is driven to exactly one logic level (no contention between
+  the pull networks and no floating output for the static families);
+* the computed output function matches the intended Boolean function;
+* the driven level reaches the full rail voltage, i.e. there exists a
+  conducting path to the rail whose devices all pass that level strongly
+  (n-type for a low level, p-type for a high level).  This is the property
+  that the transmission-gate construction of Sec. 3.1 restores, and that the
+  dynamic GNOR gate of Fig. 2 and the pass-transistor families lack.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.circuits.netlist import OUTPUT, VDD, VSS, CellNetlist
+from repro.devices.transistor import Device, DeviceRole
+from repro.logic.truth_table import TruthTable
+
+_PULL_DOWN_ROLES = (DeviceRole.PULL_DOWN,)
+_PULL_UP_ROLES = (DeviceRole.PULL_UP, DeviceRole.PSEUDO_LOAD)
+
+
+def _connected(
+    devices: Iterable[Device],
+    assignment: Mapping[str, bool],
+    source: str,
+    target: str,
+    require_strong: bool | None = None,
+    rail_value: bool | None = None,
+) -> bool:
+    """BFS connectivity between two nodes through conducting devices.
+
+    With ``require_strong`` set, only devices that pass ``rail_value`` at full
+    swing are traversed.
+    """
+    adjacency: dict[str, list[str]] = {}
+    for device in devices:
+        if not device.conducts(assignment):
+            continue
+        if require_strong and rail_value is not None:
+            if not device.passes_strongly(rail_value, assignment):
+                continue
+        adjacency.setdefault(device.node_a, []).append(device.node_b)
+        adjacency.setdefault(device.node_b, []).append(device.node_a)
+    if source == target:
+        return True
+    seen = {source}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbour in adjacency.get(node, ()):
+            if neighbour == target:
+                return True
+            if neighbour not in seen:
+                seen.add(neighbour)
+                queue.append(neighbour)
+    return False
+
+
+@dataclass(frozen=True)
+class SwitchLevelResult:
+    """Outcome of exhaustively simulating a cell netlist."""
+
+    input_order: tuple[str, ...]
+    output_table: TruthTable
+    contention_minterms: tuple[int, ...]
+    floating_minterms: tuple[int, ...]
+    degraded_minterms: tuple[int, ...]
+
+    @property
+    def is_well_formed(self) -> bool:
+        """No contention and no floating output for any assignment."""
+        return not self.contention_minterms and not self.floating_minterms
+
+    @property
+    def is_full_swing(self) -> bool:
+        """Every driven level reaches the rail through a strong path."""
+        return not self.degraded_minterms
+
+
+def simulate_cell(netlist: CellNetlist) -> SwitchLevelResult:
+    """Exhaustively simulate a cell netlist at switch level."""
+    order = netlist.input_signals
+    num_vars = len(order)
+    if num_vars > 12:
+        raise ValueError("switch-level simulation is limited to 12 cell inputs")
+
+    pd_devices = [d for d in netlist.devices if d.role in _PULL_DOWN_ROLES]
+    pu_devices = [d for d in netlist.devices if d.role in _PULL_UP_ROLES]
+    pseudo = any(d.role is DeviceRole.PSEUDO_LOAD for d in netlist.devices)
+
+    bits = 0
+    contention: list[int] = []
+    floating: list[int] = []
+    degraded: list[int] = []
+
+    for minterm in range(1 << num_vars):
+        assignment = {
+            name: bool((minterm >> i) & 1) for i, name in enumerate(order)
+        }
+        pd_on = _connected(pd_devices, assignment, OUTPUT, VSS)
+        pu_on = _connected(pu_devices, assignment, OUTPUT, VDD)
+
+        if pseudo:
+            # The weak load always conducts; the pull-down wins when it is on.
+            output = not pd_on
+        else:
+            if pd_on and pu_on:
+                contention.append(minterm)
+                output = False
+            elif not pd_on and not pu_on:
+                floating.append(minterm)
+                output = False
+            else:
+                output = pu_on
+
+        if output:
+            bits |= 1 << minterm
+
+        # Full-swing check on the driven level.  The ratioed low level of a
+        # pseudo cell is acceptable by construction (the PD network is sized
+        # 4x stronger than the load), but a low level reachable only through
+        # p-type devices is stuck near |VTp| regardless of sizing -- that is
+        # the degradation the transmission-gate construction removes
+        # (Sec. 3.1/3.2), so it is flagged for pseudo cells as well.
+        if output:
+            strong = _connected(
+                pu_devices,
+                assignment,
+                OUTPUT,
+                VDD,
+                require_strong=True,
+                rail_value=True,
+            )
+            if not strong:
+                degraded.append(minterm)
+        elif pd_on:
+            strong = _connected(
+                pd_devices,
+                assignment,
+                OUTPUT,
+                VSS,
+                require_strong=True,
+                rail_value=False,
+            )
+            if not strong:
+                degraded.append(minterm)
+
+    return SwitchLevelResult(
+        input_order=order,
+        output_table=TruthTable(num_vars, bits),
+        contention_minterms=tuple(contention),
+        floating_minterms=tuple(floating),
+        degraded_minterms=tuple(degraded),
+    )
+
+
+def verify_cell_function(
+    netlist: CellNetlist, expected_output: TruthTable
+) -> SwitchLevelResult:
+    """Simulate a cell and check its output function against ``expected_output``.
+
+    ``expected_output`` must be expressed over the netlist's sorted input
+    signal order.  Raises :class:`AssertionError` on mismatch so tests can use
+    it directly.
+    """
+    result = simulate_cell(netlist)
+    if result.output_table != expected_output:
+        raise AssertionError(
+            f"cell {netlist.name!r} computes {result.output_table} "
+            f"but {expected_output} was expected"
+        )
+    return result

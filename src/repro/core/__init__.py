@@ -1,0 +1,50 @@
+"""The paper's primary contribution: the ambipolar CNTFET gate library.
+
+* :mod:`repro.core.functions` -- the 46 Table-1 functions F00..F45 and the
+  7-function CMOS subset.
+* :mod:`repro.core.cell` -- a fully characterized library cell (netlist, area,
+  FO4 delays, matchable output function).
+* :mod:`repro.core.families` -- construction of complete libraries for each of
+  the logic families of Sec. 3 (transmission-gate static / pseudo,
+  pass-transistor static / pseudo, CMOS reference).
+* :mod:`repro.core.library` -- the :class:`~repro.core.library.GateLibrary`
+  container with genlib export and lookup utilities.
+* :mod:`repro.core.characterize` -- Table-2 style characterization
+  (per-cell and per-family rows).
+* :mod:`repro.core.paper_data` -- the values published in Tables 2 and 3, for
+  side-by-side comparison in EXPERIMENTS.md.
+* :mod:`repro.core.regular_fabric` -- the Sec. 5 regular fabric built from
+  interleaved GNOR/GNAND blocks.
+"""
+
+from repro.core.functions import (
+    CMOS_FUNCTION_IDS,
+    FunctionSpec,
+    TABLE1_FUNCTIONS,
+    function_by_id,
+)
+from repro.core.cell import LibraryCell
+from repro.core.families import LogicFamily, build_family_cells
+from repro.core.library import GateLibrary, build_library
+from repro.core.characterize import (
+    CellCharacterization,
+    FamilySummary,
+    characterize_family,
+    characterize_cell,
+)
+
+__all__ = [
+    "FunctionSpec",
+    "TABLE1_FUNCTIONS",
+    "CMOS_FUNCTION_IDS",
+    "function_by_id",
+    "LibraryCell",
+    "LogicFamily",
+    "build_family_cells",
+    "GateLibrary",
+    "build_library",
+    "CellCharacterization",
+    "FamilySummary",
+    "characterize_cell",
+    "characterize_family",
+]

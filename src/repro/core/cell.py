@@ -1,0 +1,128 @@
+"""A fully characterized library cell.
+
+A :class:`LibraryCell` bundles everything the rest of the flow needs to know
+about one gate of one logic family: the Table-1 function it realizes, its
+sized transistor netlist, its normalized area, its FO4 delay report and the
+Boolean function visible at its output node.
+
+Every cell also carries an output inverter option (paper Sec. 4.3): the
+library provides both polarities of every cell output so that the
+complemented literals required by the transmission-gate XOR terms are always
+available.  The technology mapper exploits this by matching cuts against both
+output polarities of every cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.area import cell_area
+from repro.circuits.delay import DelayReport, characterize_delay
+from repro.circuits.netlist import CellNetlist, CellStyle, build_cell_netlist
+from repro.circuits.sp_network import network_from_expr
+from repro.circuits.switch_sim import simulate_cell
+from repro.core.functions import FunctionSpec
+from repro.logic.truth_table import TruthTable
+
+
+@dataclass(frozen=True)
+class LibraryCell:
+    """One characterized gate of a logic family."""
+
+    name: str
+    function_id: str
+    expression_text: str
+    style: CellStyle
+    input_names: tuple[str, ...]
+    netlist: CellNetlist
+    function: TruthTable
+    output_function: TruthTable
+    area: float
+    area_with_inverter: float
+    delay: DelayReport
+    full_swing: bool
+
+    @property
+    def transistor_count(self) -> int:
+        return self.netlist.transistor_count()
+
+    @property
+    def arity(self) -> int:
+        return len(self.input_names)
+
+    @property
+    def is_inverting(self) -> bool:
+        """The natural cell output is the complement of the Table-1 function."""
+        return True
+
+    def delay_average_ps(self) -> float:
+        return self.delay.scaled_average(self.netlist.technology.tau_ps)
+
+    def delay_worst_ps(self) -> float:
+        return self.delay.scaled_worst(self.netlist.technology.tau_ps)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.name} [{self.style.value}] {self.expression_text} "
+            f"(T={self.transistor_count}, A={self.area:.1f})"
+        )
+
+
+class CellConstructionError(ValueError):
+    """Raised when a function cannot be realized in the requested style."""
+
+
+def build_cell(spec: FunctionSpec, style: CellStyle, verify: bool = True) -> LibraryCell:
+    """Construct and characterize the cell realizing ``spec`` in ``style``.
+
+    With ``verify`` (the default) the sized netlist is simulated exhaustively
+    at switch level and checked against the intended function; construction
+    fails loudly on any mismatch, contention or floating output.
+    """
+    allow_xor = style is not CellStyle.CMOS_STATIC
+    try:
+        pd_network = network_from_expr(spec.expression, allow_xor=allow_xor)
+    except ValueError as exc:
+        raise CellConstructionError(
+            f"{spec.function_id} cannot be built in style {style.value}: {exc}"
+        ) from exc
+
+    name = f"{spec.function_id}_{style.value.replace('-', '_')}"
+    netlist = build_cell_netlist(name, pd_network, style)
+
+    function = spec.truth_table()
+    expected_output = ~function
+
+    full_swing = True
+    if verify:
+        result = simulate_cell(netlist)
+        if result.output_table != expected_output:
+            raise CellConstructionError(
+                f"{name}: switch-level function mismatch "
+                f"(got {result.output_table}, expected {expected_output})"
+            )
+        if not result.is_well_formed:
+            raise CellConstructionError(
+                f"{name}: contention at {result.contention_minterms} or floating "
+                f"output at {result.floating_minterms}"
+            )
+        full_swing = result.is_full_swing
+
+    area = cell_area(netlist)
+    area_with_inverter = cell_area(netlist, with_output_inverter=True)
+    delay = characterize_delay(netlist)
+
+    return LibraryCell(
+        name=name,
+        function_id=spec.function_id,
+        expression_text=spec.expression_text,
+        style=style,
+        input_names=spec.input_names,
+        netlist=netlist,
+        function=function,
+        output_function=expected_output,
+        area=area,
+        area_with_inverter=area_with_inverter,
+        delay=delay,
+        full_swing=full_swing,
+    )

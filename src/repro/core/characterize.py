@@ -1,0 +1,97 @@
+"""Table-2 style characterization of a gate library.
+
+For every cell of a family we report the transistor count, the normalized
+area and the worst-case / average FO4 delays; for the family we report the
+averages with and without the output inverter that provides the complemented
+output polarity (paper Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cell import LibraryCell
+from repro.core.library import GateLibrary
+
+
+@dataclass(frozen=True)
+class CellCharacterization:
+    """One row of the regenerated Table 2."""
+
+    function_id: str
+    expression: str
+    transistors: int
+    area: float
+    area_with_inverter: float
+    fo4_worst: float
+    fo4_average: float
+    fo4_average_with_inverter: float
+    full_swing: bool
+
+
+@dataclass(frozen=True)
+class FamilySummary:
+    """The per-family average rows of Table 2."""
+
+    family_name: str
+    tau_ps: float
+    cell_count: int
+    average_transistors: float
+    average_area: float
+    average_fo4_worst: float
+    average_fo4: float
+    average_transistors_with_inverter: float
+    average_area_with_inverter: float
+    average_fo4_with_inverter: float
+
+
+def characterize_cell(cell: LibraryCell) -> CellCharacterization:
+    """Characterize a single cell (one Table-2 row)."""
+    inverter_extra = _output_inverter_delay(cell)
+    return CellCharacterization(
+        function_id=cell.function_id,
+        expression=cell.expression_text,
+        transistors=cell.transistor_count,
+        area=cell.area,
+        area_with_inverter=cell.area_with_inverter,
+        fo4_worst=cell.delay.fo4_worst,
+        fo4_average=cell.delay.fo4_average,
+        fo4_average_with_inverter=cell.delay.fo4_average + inverter_extra,
+        full_swing=cell.full_swing,
+    )
+
+
+def _output_inverter_delay(cell: LibraryCell) -> float:
+    """Extra delay of the output inverter providing the complemented polarity.
+
+    Modelled as the fanout-of-1 delay of the unit inverter of the cell's
+    technology (parasitic plus one unit load).
+    """
+    return 2.0
+
+
+def characterize_family(
+    library: GateLibrary,
+) -> tuple[tuple[CellCharacterization, ...], FamilySummary]:
+    """Characterize every cell of a library and compute the family averages."""
+    rows = tuple(characterize_cell(cell) for cell in library.cells)
+    count = len(rows)
+    inverter_transistors = 2
+
+    summary = FamilySummary(
+        family_name=library.name,
+        tau_ps=library.tau_ps,
+        cell_count=count,
+        average_transistors=sum(r.transistors for r in rows) / count,
+        average_area=sum(r.area for r in rows) / count,
+        average_fo4_worst=sum(r.fo4_worst for r in rows) / count,
+        average_fo4=sum(r.fo4_average for r in rows) / count,
+        average_transistors_with_inverter=(
+            sum(r.transistors + inverter_transistors for r in rows) / count
+        ),
+        average_area_with_inverter=sum(r.area_with_inverter for r in rows) / count,
+        average_fo4_with_inverter=(
+            sum(r.fo4_average_with_inverter for r in rows) / count
+        ),
+    )
+    return rows, summary

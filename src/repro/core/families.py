@@ -1,0 +1,90 @@
+"""The logic families of Sec. 3 and their complete cell sets.
+
+========================  ====================================================
+family                     contents
+========================  ====================================================
+TG_STATIC                  all 46 Table-1 functions as full-swing static
+                           transmission-gate cells (Sec. 3.1)
+TG_PSEUDO                  all 46 functions in pseudo logic (weak always-on
+                           pull-up, Sec. 3.2)
+PASS_STATIC                all 46 functions with single pass transistors for
+                           XOR terms, static PU/PD (Sec. 3.2)
+PASS_PSEUDO                all 46 functions with pass transistors and the
+                           weak pull-up load (Sec. 3.2)
+CMOS                       the 7 functions realizable without ambipolar
+                           devices (F00, F02, F03, F10..F13)
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.circuits.netlist import CellStyle
+from repro.core.cell import LibraryCell, build_cell
+from repro.core.functions import (
+    CMOS_FUNCTION_IDS,
+    TABLE1_FUNCTIONS,
+    FunctionSpec,
+    function_by_id,
+)
+
+
+class LogicFamily(Enum):
+    """The five libraries characterized and compared in the paper."""
+
+    TG_STATIC = "cntfet-tg-static"
+    TG_PSEUDO = "cntfet-tg-pseudo"
+    PASS_STATIC = "cntfet-pass-static"
+    PASS_PSEUDO = "cntfet-pass-pseudo"
+    CMOS = "cmos-static"
+
+    @property
+    def style(self) -> CellStyle:
+        return _FAMILY_STYLE[self]
+
+    @property
+    def is_cntfet(self) -> bool:
+        return self is not LogicFamily.CMOS
+
+    @property
+    def tau_ps(self) -> float:
+        """Technology-dependent intrinsic delay used for absolute delays."""
+        return self.style.technology.tau_ps
+
+    def function_specs(self) -> tuple[FunctionSpec, ...]:
+        """The Table-1 subset realizable by this family."""
+        if self is LogicFamily.CMOS:
+            return tuple(function_by_id(fid) for fid in CMOS_FUNCTION_IDS)
+        return TABLE1_FUNCTIONS
+
+
+_FAMILY_STYLE = {
+    LogicFamily.TG_STATIC: CellStyle.TRANSMISSION_GATE_STATIC,
+    LogicFamily.TG_PSEUDO: CellStyle.TRANSMISSION_GATE_PSEUDO,
+    LogicFamily.PASS_STATIC: CellStyle.PASS_TRANSISTOR_STATIC,
+    LogicFamily.PASS_PSEUDO: CellStyle.PASS_TRANSISTOR_PSEUDO,
+    LogicFamily.CMOS: CellStyle.CMOS_STATIC,
+}
+
+
+def build_family_cells(
+    family: LogicFamily,
+    function_ids: tuple[str, ...] | None = None,
+    verify: bool = True,
+) -> tuple[LibraryCell, ...]:
+    """Build every cell of a family (optionally restricted to ``function_ids``).
+
+    Each cell is sized, characterized and -- unless ``verify`` is disabled --
+    verified at switch level against its Table-1 function.
+    """
+    specs = family.function_specs()
+    if function_ids is not None:
+        wanted = set(function_ids)
+        specs = tuple(spec for spec in specs if spec.function_id in wanted)
+        missing = wanted - {spec.function_id for spec in specs}
+        if missing:
+            raise KeyError(
+                f"functions {sorted(missing)} are not available in family {family.value}"
+            )
+    return tuple(build_cell(spec, family.style, verify=verify) for spec in specs)

@@ -1,0 +1,428 @@
+"""Values published in the paper, for side-by-side comparison.
+
+Table 2 (library characterization) and Table 3 (technology-mapping results)
+are transcribed here verbatim so that the experiment harness can report
+``paper vs. measured`` for every cell and every benchmark.  Nothing in the
+reproduction *uses* these numbers to produce results -- they are reference
+data only (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperCellRow:
+    """One Table-2 entry for one family: transistor count, area, FO4 worst/avg."""
+
+    transistors: int
+    area: float
+    fo4_worst: float
+    fo4_average: float
+
+
+@dataclass(frozen=True)
+class PaperBenchmarkRow:
+    """One Table-3 entry for one family."""
+
+    gates: int
+    area: float
+    levels: int
+    normalized_delay: float
+    absolute_delay_ps: float
+
+
+#: Table 2: per-cell characterization.  Keys are Table-1 function ids; values
+#: map family keys (``tg_static``, ``tg_pseudo``, ``pass_pseudo``, ``cmos``)
+#: to the published row.  CMOS rows exist only for the 7 unate functions.
+PAPER_TABLE2: dict[str, dict[str, PaperCellRow]] = {
+    "F00": {
+        "tg_static": PaperCellRow(2, 2.0, 5.0, 5.0),
+        "tg_pseudo": PaperCellRow(2, 1.7, 7.0, 7.0),
+        "pass_pseudo": PaperCellRow(2, 1.7, 7.0, 7.0),
+        "cmos": PaperCellRow(2, 2.0, 5.0, 5.0),
+    },
+    "F01": {
+        "tg_static": PaperCellRow(4, 2.7, 4.0, 4.0),
+        "tg_pseudo": PaperCellRow(3, 2.1, 5.7, 5.7),
+        "pass_pseudo": PaperCellRow(2, 3.0, 13.7, 13.7),
+    },
+    "F02": {
+        "tg_static": PaperCellRow(4, 6.0, 8.0, 8.0),
+        "tg_pseudo": PaperCellRow(3, 3.0, 8.3, 8.3),
+        "pass_pseudo": PaperCellRow(3, 3.0, 8.3, 8.3),
+        "cmos": PaperCellRow(4, 10.0, 8.7, 8.7),
+    },
+    "F03": {
+        "tg_static": PaperCellRow(4, 6.0, 8.0, 8.0),
+        "tg_pseudo": PaperCellRow(3, 5.7, 13.7, 13.7),
+        "pass_pseudo": PaperCellRow(3, 5.7, 13.7, 13.7),
+        "cmos": PaperCellRow(4, 8.0, 7.3, 7.3),
+    },
+    "F04": {
+        "tg_static": PaperCellRow(6, 7.0, 8.2, 6.6),
+        "tg_pseudo": PaperCellRow(5, 3.4, 8.8, 7.4),
+        "pass_pseudo": PaperCellRow(3, 4.3, 15.0, 13.2),
+    },
+    "F05": {
+        "tg_static": PaperCellRow(6, 7.0, 8.2, 6.6),
+        "tg_pseudo": PaperCellRow(5, 6.6, 13.7, 10.8),
+        "pass_pseudo": PaperCellRow(3, 13.7, 27.0, 23.4),
+    },
+    "F06": {
+        "tg_static": PaperCellRow(8, 8.0, 10.7, 8.0),
+        "tg_pseudo": PaperCellRow(5, 3.9, 11.0, 8.6),
+        "pass_pseudo": PaperCellRow(3, 5.7, 27.0, 19.9),
+    },
+    "F07": {
+        "tg_static": PaperCellRow(8, 8.0, 10.7, 8.0),
+        "tg_pseudo": PaperCellRow(5, 7.4, 18.1, 13.4),
+        "pass_pseudo": PaperCellRow(3, 11.0, 48.3, 34.1),
+    },
+    "F08": {
+        "tg_static": PaperCellRow(8, 8.0, 6.7, 6.7),
+        "tg_pseudo": PaperCellRow(5, 3.9, 7.4, 7.4),
+        "pass_pseudo": PaperCellRow(3, 5.7, 16.3, 16.3),
+    },
+    "F09": {
+        "tg_static": PaperCellRow(8, 8.0, 6.7, 6.7),
+        "tg_pseudo": PaperCellRow(5, 7.4, 11.0, 11.0),
+        "pass_pseudo": PaperCellRow(3, 11.0, 27.0, 27.0),
+    },
+    "F10": {
+        "tg_static": PaperCellRow(6, 12.0, 11.0, 11.0),
+        "tg_pseudo": PaperCellRow(4, 4.3, 9.7, 9.7),
+        "pass_pseudo": PaperCellRow(4, 4.3, 9.7, 9.7),
+        "cmos": PaperCellRow(6, 21.0, 12.3, 12.3),
+    },
+    "F11": {
+        "tg_static": PaperCellRow(6, 11.0, 10.5, 9.8),
+        "tg_pseudo": PaperCellRow(4, 8.3, 13.7, 13.7),
+        "pass_pseudo": PaperCellRow(4, 8.3, 13.7, 13.7),
+        "cmos": PaperCellRow(6, 16.0, 10.7, 9.8),
+    },
+    "F12": {
+        "tg_static": PaperCellRow(6, 11.0, 10.5, 9.8),
+        "tg_pseudo": PaperCellRow(4, 7.0, 15.0, 13.2),
+        "pass_pseudo": PaperCellRow(4, 7.0, 15.0, 13.2),
+        "cmos": PaperCellRow(6, 17.0, 10.3, 9.9),
+    },
+    "F13": {
+        "tg_static": PaperCellRow(6, 12.0, 11.0, 11.0),
+        "tg_pseudo": PaperCellRow(4, 12.3, 20.3, 20.3),
+        "pass_pseudo": PaperCellRow(4, 12.3, 20.3, 20.3),
+        "cmos": PaperCellRow(6, 15.0, 9.7, 9.7),
+    },
+    "F14": {
+        "tg_static": PaperCellRow(8, 13.3, 11.2, 9.4),
+        "tg_pseudo": PaperCellRow(5, 4.8, 10.1, 8.9),
+        "pass_pseudo": PaperCellRow(4, 5.7, 16.3, 13.7),
+    },
+    "F15": {
+        "tg_static": PaperCellRow(10, 14.7, 11.3, 10.6),
+        "tg_pseudo": PaperCellRow(6, 5.2, 12.3, 10.1),
+        "pass_pseudo": PaperCellRow(4, 7.0, 28.3, 19.0),
+    },
+    "F16": {
+        "tg_static": PaperCellRow(12, 16.0, 20.0, 12.0),
+        "tg_pseudo": PaperCellRow(7, 5.7, 16.3, 11.0),
+        "pass_pseudo": PaperCellRow(4, 8.3, 40.3, 24.3),
+    },
+    "F17": {
+        "tg_static": PaperCellRow(8, 12.3, 10.5, 8.4),
+        "tg_pseudo": PaperCellRow(5, 9.2, 13.7, 11.3),
+        "pass_pseudo": PaperCellRow(4, 11.0, 24.3, 20.8),
+    },
+    "F18": {
+        "tg_static": PaperCellRow(10, 13.7, 13.5, 9.8),
+        "tg_pseudo": PaperCellRow(6, 10.1, 17.2, 12.7),
+        "pass_pseudo": PaperCellRow(4, 13.7, 45.7, 28.9),
+    },
+    "F19": {
+        "tg_static": PaperCellRow(10, 13.3, 12.3, 10.1),
+        "tg_pseudo": PaperCellRow(6, 10.1, 18.1, 13.5),
+        "pass_pseudo": PaperCellRow(4, 13.7, 48.3, 31.6),
+    },
+    "F20": {
+        "tg_static": PaperCellRow(12, 14.7, 18.0, 10.7),
+        "tg_pseudo": PaperCellRow(7, 11.0, 25.2, 14.6),
+        "pass_pseudo": PaperCellRow(4, 16.3, 69.7, 37.7),
+    },
+    "F21": {
+        "tg_static": PaperCellRow(8, 12.0, 11.0, 8.3),
+        "tg_pseudo": PaperCellRow(5, 9.2, 14.6, 12.2),
+        "pass_pseudo": PaperCellRow(4, 11.0, 27.0, 23.4),
+    },
+    "F22": {
+        "tg_static": PaperCellRow(8, 12.0, 11.0, 8.3),
+        "tg_pseudo": PaperCellRow(5, 7.4, 15.4, 10.7),
+        "pass_pseudo": PaperCellRow(4, 8.3, 16.3, 16.3),
+    },
+    "F23": {
+        "tg_static": PaperCellRow(8, 12.3, 10.5, 8.4),
+        "tg_pseudo": PaperCellRow(5, 7.9, 13.7, 10.4),
+        "pass_pseudo": PaperCellRow(4, 9.7, 25.7, 19.0),
+    },
+    "F24": {
+        "tg_static": PaperCellRow(10, 13.3, 12.3, 9.5),
+        "tg_pseudo": PaperCellRow(6, 7.0, 15.4, 12.4),
+        "pass_pseudo": PaperCellRow(4, 11.0, 37.7, 24.3),
+    },
+    "F25": {
+        "tg_static": PaperCellRow(10, 13.7, 13.5, 9.8),
+        "tg_pseudo": PaperCellRow(6, 8.8, 26.6, 14.1),
+        "pass_pseudo": PaperCellRow(4, 12.3, 49.7, 29.7),
+    },
+    "F26": {
+        "tg_static": PaperCellRow(12, 14.7, 18.0, 10.7),
+        "tg_pseudo": PaperCellRow(7, 9.2, 23.4, 14.6),
+        "pass_pseudo": PaperCellRow(4, 7.0, 31.0, 17.7),
+    },
+    "F27": {
+        "tg_static": PaperCellRow(8, 13.3, 11.2, 9.4),
+        "tg_pseudo": PaperCellRow(5, 13.7, 20.3, 16.8),
+        "pass_pseudo": PaperCellRow(4, 16.3, 36.3, 28.3),
+    },
+    "F28": {
+        "tg_static": PaperCellRow(10, 14.7, 14.0, 10.6),
+        "tg_pseudo": PaperCellRow(6, 15.0, 20.3, 10.7),
+        "pass_pseudo": PaperCellRow(4, 20.3, 68.3, 40.3),
+    },
+    "F29": {
+        "tg_static": PaperCellRow(12, 16.0, 20.0, 12.0),
+        "tg_pseudo": PaperCellRow(7, 16.3, 37.7, 21.7),
+        "pass_pseudo": PaperCellRow(4, 24.3, 104.3, 56.3),
+    },
+    "F30": {
+        "tg_static": PaperCellRow(10, 14.7, 11.3, 11.0),
+        "tg_pseudo": PaperCellRow(6, 5.2, 14.1, 12.5),
+        "pass_pseudo": PaperCellRow(4, 7.0, 17.7, 16.6),
+    },
+    "F31": {
+        "tg_static": PaperCellRow(12, 16.0, 14.7, 10.4),
+        "tg_pseudo": PaperCellRow(7, 5.7, 12.8, 9.3),
+        "pass_pseudo": PaperCellRow(4, 8.3, 29.7, 21.1),
+    },
+    "F32": {
+        "tg_static": PaperCellRow(10, 13.7, 8.8, 8.2),
+        "tg_pseudo": PaperCellRow(6, 10.1, 13.7, 10.5),
+        "pass_pseudo": PaperCellRow(4, 13.7, 24.3, 23.2),
+    },
+    "F33": {
+        "tg_static": PaperCellRow(10, 13.3, 11.0, 8.0),
+        "tg_pseudo": PaperCellRow(6, 10.1, 14.6, 11.4),
+        "pass_pseudo": PaperCellRow(4, 13.7, 27.0, 25.8),
+    },
+    "F34": {
+        "tg_static": PaperCellRow(14, 12.7, 14.0, 9.2),
+        "tg_pseudo": PaperCellRow(7, 11.0, 18.1, 12.4),
+        "pass_pseudo": PaperCellRow(4, 16.3, 48.0, 31.3),
+    },
+    "F35": {
+        "tg_static": PaperCellRow(12, 14.7, 14.0, 9.2),
+        "tg_pseudo": PaperCellRow(7, 11.0, 18.1, 12.4),
+        "pass_pseudo": PaperCellRow(4, 16.3, 48.3, 31.3),
+    },
+    "F36": {
+        "tg_static": PaperCellRow(10, 13.3, 11.0, 8.0),
+        "tg_pseudo": PaperCellRow(6, 8.3, 15.4, 10.7),
+        "pass_pseudo": PaperCellRow(4, 11.0, 27.0, 20.6),
+    },
+    "F37": {
+        "tg_static": PaperCellRow(10, 13.7, 10.8, 8.5),
+        "tg_pseudo": PaperCellRow(6, 10.1, 13.7, 10.5),
+        "pass_pseudo": PaperCellRow(4, 13.7, 24.3, 13.2),
+    },
+    "F38": {
+        "tg_static": PaperCellRow(12, 14.7, 14.0, 9.2),
+        "tg_pseudo": PaperCellRow(7, 9.2, 19.9, 12.8),
+        "pass_pseudo": PaperCellRow(4, 13.7, 51.0, 29.7),
+    },
+    "F39": {
+        "tg_static": PaperCellRow(12, 14.7, 12.7, 9.2),
+        "tg_pseudo": PaperCellRow(7, 9.2, 16.3, 12.8),
+        "pass_pseudo": PaperCellRow(4, 13.7, 40.3, 29.7),
+    },
+    "F40": {
+        "tg_static": PaperCellRow(10, 14.7, 11.3, 9.0),
+        "tg_pseudo": PaperCellRow(6, 15.0, 20.3, 15.6),
+        "pass_pseudo": PaperCellRow(4, 20.3, 36.3, 33.1),
+    },
+    "F41": {
+        "tg_static": PaperCellRow(12, 16.0, 14.7, 10.4),
+        "tg_pseudo": PaperCellRow(7, 16.3, 27.0, 18.5),
+        "pass_pseudo": PaperCellRow(4, 24.3, 72.3, 46.7),
+    },
+    "F42": {
+        "tg_static": PaperCellRow(12, 16.0, 9.3, 9.3),
+        "tg_pseudo": PaperCellRow(7, 5.7, 9.2, 9.2),
+        "pass_pseudo": PaperCellRow(4, 8.3, 19.0, 19.0),
+    },
+    "F43": {
+        "tg_static": PaperCellRow(12, 14.7, 8.7, 8.2),
+        "tg_pseudo": PaperCellRow(7, 9.2, 12.8, 11.6),
+        "pass_pseudo": PaperCellRow(4, 13.7, 29.7, 26.1),
+    },
+    "F44": {
+        "tg_static": PaperCellRow(12, 16.0, 9.3, 9.3),
+        "tg_pseudo": PaperCellRow(7, 16.3, 16.3, 16.3),
+        "pass_pseudo": PaperCellRow(4, 24.3, 40.3, 40.3),
+    },
+    "F45": {
+        "tg_static": PaperCellRow(12, 14.7, 8.7, 9.2),
+        "tg_pseudo": PaperCellRow(7, 11.0, 11.0, 11.0),
+        "pass_pseudo": PaperCellRow(4, 16.3, 32.5, 24.1),
+    },
+}
+
+#: Table 2 bottom rows: per-family averages without the output inverter.
+PAPER_TABLE2_AVERAGES: dict[str, PaperCellRow] = {
+    "tg_static": PaperCellRow(9, 12.3, 11.3, 9.0),
+    "tg_pseudo": PaperCellRow(6, 8.5, 15.6, 12.0),
+    "pass_pseudo": PaperCellRow(4, 11.5, 32.5, 24.1),
+    "cmos": PaperCellRow(5, 12.7, 9.1, 9.0),
+}
+
+#: Intrinsic delays used to convert normalized delay to picoseconds.
+PAPER_TAU_PS = {"cntfet": 0.59, "cmos": 3.00}
+
+
+@dataclass(frozen=True)
+class PaperBenchmark:
+    """One Table-3 benchmark with its published results for the three families."""
+
+    name: str
+    inputs: int
+    outputs: int
+    function: str
+    tg_static: PaperBenchmarkRow
+    tg_pseudo: PaperBenchmarkRow
+    cmos: PaperBenchmarkRow
+
+
+#: Table 3: technology-mapping results of the 15 benchmarks.
+PAPER_TABLE3: tuple[PaperBenchmark, ...] = (
+    PaperBenchmark(
+        "C2670", 233, 140, "ALU and control",
+        PaperBenchmarkRow(416, 3292.5, 12, 105.2, 62.1),
+        PaperBenchmarkRow(467, 1883.9, 11, 125.3, 73.9),
+        PaperBenchmarkRow(674, 5687.0, 16, 120.0, 360.0),
+    ),
+    PaperBenchmark(
+        "C1908", 33, 25, "Error correcting",
+        PaperBenchmarkRow(201, 1562.2, 12, 106.5, 62.8),
+        PaperBenchmarkRow(207, 893.6, 13, 120.2, 70.9),
+        PaperBenchmarkRow(502, 4641.0, 22, 175.0, 525.0),
+    ),
+    PaperBenchmark(
+        "C3540", 50, 22, "ALU and control",
+        PaperBenchmarkRow(642, 6228.7, 19, 180.7, 106.7),
+        PaperBenchmarkRow(664, 3475.4, 19, 197.6, 116.6),
+        PaperBenchmarkRow(956, 8823.0, 29, 218.2, 654.0),
+    ),
+    PaperBenchmark(
+        "dalu", 75, 16, "Dedicated ALU",
+        PaperBenchmarkRow(679, 6662.3, 16, 163.6, 96.5),
+        PaperBenchmarkRow(713, 3956.8, 17, 193.5, 114.2),
+        PaperBenchmarkRow(1100, 9181.0, 28, 205.9, 617.7),
+    ),
+    PaperBenchmark(
+        "C7552", 207, 108, "ALU and control",
+        PaperBenchmarkRow(904, 6747.6, 17, 149.1, 88.0),
+        PaperBenchmarkRow(987, 4235.7, 17, 174.4, 102.9),
+        PaperBenchmarkRow(1860, 13933.0, 24, 173.6, 520.8),
+    ),
+    PaperBenchmark(
+        "C6288", 32, 32, "Multiplier",
+        PaperBenchmarkRow(1389, 11672.9, 48, 397.8, 234.7),
+        PaperBenchmarkRow(1322, 6558.0, 48, 481.6, 284.1),
+        PaperBenchmarkRow(2767, 23192.0, 89, 639.8, 1919.4),
+    ),
+    PaperBenchmark(
+        "C5315", 178, 123, "ALU and selector",
+        PaperBenchmarkRow(894, 7600.6, 16, 145.6, 85.9),
+        PaperBenchmarkRow(986, 4553.2, 17, 172.2, 101.6),
+        PaperBenchmarkRow(1465, 12048.0, 27, 200.2, 600.6),
+    ),
+    PaperBenchmark(
+        "des", 256, 245, "Data encryption",
+        PaperBenchmarkRow(2583, 25781.1, 10, 88.1, 52.0),
+        PaperBenchmarkRow(2500, 13920.0, 9, 90.8, 53.6),
+        PaperBenchmarkRow(3560, 35781.0, 15, 115.3, 345.9),
+    ),
+    PaperBenchmark(
+        "i10", 257, 224, "Logic",
+        PaperBenchmarkRow(1279, 11264.2, 19, 200.0, 118.0),
+        PaperBenchmarkRow(1287, 6296.2, 21, 222.3, 131.2),
+        PaperBenchmarkRow(1965, 16394.0, 29, 218.8, 656.4),
+    ),
+    PaperBenchmark(
+        "t481", 16, 1, "Logic",
+        PaperBenchmarkRow(670, 6379.0, 12, 113.7, 67.1),
+        PaperBenchmarkRow(598, 3516.0, 11, 114.0, 67.3),
+        PaperBenchmarkRow(804, 8259.0, 13, 102.2, 306.6),
+    ),
+    PaperBenchmark(
+        "i18", 133, 81, "Logic",
+        PaperBenchmarkRow(674, 6642.0, 8, 83.6, 49.3),
+        PaperBenchmarkRow(714, 3698.6, 9, 89.8, 53.0),
+        PaperBenchmarkRow(836, 7968.0, 11, 82.1, 246.3),
+    ),
+    PaperBenchmark(
+        "C1355", 41, 32, "Error correcting",
+        PaperBenchmarkRow(207, 1260.2, 9, 63.9, 37.7),
+        PaperBenchmarkRow(215, 776.6, 9, 73.6, 43.4),
+        PaperBenchmarkRow(579, 5376.0, 16, 125.0, 375.0),
+    ),
+    PaperBenchmark(
+        "add-16", 33, 17, "16-bit adder",
+        PaperBenchmarkRow(128, 834.4, 19, 179.2, 105.7),
+        PaperBenchmarkRow(132, 540.0, 20, 220.0, 129.8),
+        PaperBenchmarkRow(217, 1548.0, 33, 244.6, 733.8),
+    ),
+    PaperBenchmark(
+        "add-32", 65, 33, "32-bit adder",
+        PaperBenchmarkRow(256, 1656.7, 35, 340.5, 200.9),
+        PaperBenchmarkRow(260, 1091.4, 36, 421.6, 248.7),
+        PaperBenchmarkRow(441, 3084.0, 65, 479.1, 1437.3),
+    ),
+    PaperBenchmark(
+        "add-64", 129, 65, "64-bit adder",
+        PaperBenchmarkRow(512, 3321.0, 67, 663.1, 391.2),
+        PaperBenchmarkRow(516, 2194.1, 68, 824.8, 486.6),
+        PaperBenchmarkRow(889, 6156.0, 129, 948.3, 2844.9),
+    ),
+)
+
+#: Table 3 bottom rows: published averages and improvements vs. CMOS.
+PAPER_TABLE3_AVERAGES = {
+    "tg_static": PaperBenchmarkRow(762, 6727.0, 21, 198.7, 117.2),
+    "tg_pseudo": PaperBenchmarkRow(771, 3839.3, 22, 234.8, 138.5),
+    "cmos": PaperBenchmarkRow(1241, 10804.7, 36, 269.9, 809.7),
+}
+
+PAPER_IMPROVEMENTS = {
+    "tg_static": {
+        "gates": 0.386,
+        "area": 0.377,
+        "levels": 0.415,
+        "normalized_delay": 0.264,
+        "speedup": 6.9,
+    },
+    "tg_pseudo": {
+        "gates": 0.379,
+        "area": 0.645,
+        "levels": 0.404,
+        "normalized_delay": 0.130,
+        "speedup": 5.8,
+    },
+}
+
+
+def paper_benchmark(name: str) -> PaperBenchmark:
+    """Look up a Table-3 benchmark row by name."""
+    for row in PAPER_TABLE3:
+        if row.name == name:
+            return row
+    raise KeyError(f"unknown paper benchmark {name!r}")

@@ -1,0 +1,290 @@
+"""Regular fabrics of generalized NOR / NAND blocks (paper Sec. 5).
+
+The paper proposes exploiting the regular layout of the ambipolar gates to
+build in-field configurable fabrics: a checkerboard of two block types --
+generalized NOR (GNOR) and generalized NAND (GNAND) gates, Fig. 7/8 -- whose
+inputs (regular gates and polarity gates) are wired by an SRAM-configured
+interconnect.  A GNOR block with *k* transmission-gate pairs evaluates
+
+    Y = not((a1 ^ b1) | (a2 ^ b2) | ... | (ak ^ bk))
+
+and the GNAND block the AND-form dual.  By tying polarity inputs to constants
+an XOR term degenerates to a literal (``x ^ 0 = x``, ``x ^ 1 = x'``) and by
+tying a pair to equal signals the term drops out, so one physical block
+realizes a large subset of the Table-1 library in the field.
+
+This module provides a behavioural model of such fabrics: block configuration
+(with feasibility checking), functional evaluation, and area / utilization
+accounting.  It is the basis of ``examples/regular_fabric_demo.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Mapping, Sequence
+
+from repro.circuits.netlist import CellStyle, build_cell_netlist
+from repro.circuits.area import cell_area
+from repro.circuits.sp_network import (
+    LiteralSwitch,
+    Parallel,
+    Series,
+    SwitchNetwork,
+    XorSwitch,
+    network_from_expr,
+)
+from repro.core.functions import FunctionSpec
+from repro.devices.transistor import Literal
+from repro.logic.expr import parse_expr
+
+
+class BlockKind(Enum):
+    """The two interleaved logic-block types of the fabric (Fig. 7)."""
+
+    GNOR = "gnor"
+    GNAND = "gnand"
+
+
+#: Constant nets available to the configuration bits.
+CONST_ZERO = "0"
+CONST_ONE = "1"
+
+
+@dataclass(frozen=True)
+class TermConfiguration:
+    """Configuration of one transmission-gate pair of a generalized gate.
+
+    ``gate_input`` drives the regular gates and ``polarity_input`` drives the
+    polarity gates; either may be a signal name or a constant net.
+    A disabled term is tied so that it never affects the output
+    (``x ^ x = 0`` for GNOR, complement for GNAND).
+    """
+
+    gate_input: str
+    polarity_input: str
+    enabled: bool = True
+
+
+@dataclass
+class GeneralizedGate:
+    """A configurable GNOR or GNAND gate with a fixed number of term pairs."""
+
+    kind: BlockKind
+    term_count: int = 3
+    terms: list[TermConfiguration] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.term_count < 1:
+            raise ValueError("a generalized gate needs at least one term pair")
+        if not self.terms:
+            self.terms = [
+                TermConfiguration(CONST_ZERO, CONST_ZERO, enabled=False)
+                for _ in range(self.term_count)
+            ]
+        if len(self.terms) != self.term_count:
+            raise ValueError("terms must match term_count")
+
+    # -- configuration ------------------------------------------------------
+
+    def configure(self, spec: FunctionSpec) -> None:
+        """Program the block to realize a Table-1 function.
+
+        The function must be an OR (for GNOR) or AND (for GNAND) of at most
+        ``term_count`` terms, each term being a literal or an XOR of two
+        literals.  Raises :class:`FabricConfigurationError` otherwise.
+        """
+        terms = _decompose_terms(spec, self.kind, self.term_count)
+        configured: list[TermConfiguration] = []
+        for gate_input, polarity_input in terms:
+            configured.append(TermConfiguration(gate_input, polarity_input, True))
+        while len(configured) < self.term_count:
+            idle = CONST_ZERO if self.kind is BlockKind.GNOR else CONST_ONE
+            # A GNOR idle term must evaluate to 0 (x ^ x); a GNAND idle term
+            # must evaluate to 1 (x ^ x').
+            configured.append(
+                TermConfiguration(CONST_ZERO, CONST_ZERO if idle == CONST_ZERO else CONST_ONE, False)
+            )
+        self.terms = configured
+
+    def is_configured(self) -> bool:
+        return any(term.enabled for term in self.terms)
+
+    # -- behaviour -----------------------------------------------------------
+
+    def _resolve(self, net: str, assignment: Mapping[str, bool]) -> bool:
+        if net == CONST_ZERO:
+            return False
+        if net == CONST_ONE:
+            return True
+        if net.endswith("'"):
+            return not bool(assignment[net[:-1]])
+        return bool(assignment[net])
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        """Value of the (inverting) block output under an input assignment."""
+        term_values = []
+        for term in self.terms:
+            value = self._resolve(term.gate_input, assignment) != self._resolve(
+                term.polarity_input, assignment
+            )
+            term_values.append(value)
+        if self.kind is BlockKind.GNOR:
+            return not any(term_values)
+        return not all(term_values)
+
+    def signals(self) -> tuple[str, ...]:
+        names = set()
+        for term in self.terms:
+            for net in (term.gate_input, term.polarity_input):
+                if net not in (CONST_ZERO, CONST_ONE):
+                    names.add(net.rstrip("'"))
+        return tuple(sorted(names))
+
+    # -- physical estimate ---------------------------------------------------
+
+    def area(self) -> float:
+        """Normalized area of the block's static transmission-gate implementation."""
+        terms: list[SwitchNetwork] = [
+            XorSwitch(Literal(f"a{i}"), Literal(f"b{i}")) for i in range(self.term_count)
+        ]
+        if self.kind is BlockKind.GNOR:
+            network: SwitchNetwork = Parallel(tuple(terms))
+        else:
+            network = Series(tuple(terms))
+        netlist = build_cell_netlist(
+            f"{self.kind.value}{self.term_count}",
+            network,
+            CellStyle.TRANSMISSION_GATE_STATIC,
+        )
+        return cell_area(netlist, with_output_inverter=True)
+
+
+class FabricConfigurationError(ValueError):
+    """Raised when a function cannot be mapped onto a fabric block."""
+
+
+def _decompose_terms(
+    spec: FunctionSpec, kind: BlockKind, max_terms: int
+) -> list[tuple[str, str]]:
+    """Split a Table-1 function into (gate, polarity) input pairs for a block."""
+    network = network_from_expr(parse_expr(spec.expression_text))
+    if isinstance(network, (LiteralSwitch, XorSwitch)):
+        children: Sequence[SwitchNetwork] = (network,)
+    elif isinstance(network, Parallel):
+        if kind is not BlockKind.GNOR:
+            raise FabricConfigurationError(
+                f"{spec.function_id} is an OR form; it needs a GNOR block"
+            )
+        children = network.children
+    elif isinstance(network, Series):
+        if kind is not BlockKind.GNAND:
+            raise FabricConfigurationError(
+                f"{spec.function_id} is an AND form; it needs a GNAND block"
+            )
+        children = network.children
+    else:  # pragma: no cover - defensive
+        raise FabricConfigurationError(f"unsupported function {spec.function_id}")
+
+    if len(children) > max_terms:
+        raise FabricConfigurationError(
+            f"{spec.function_id} needs {len(children)} terms, block has {max_terms}"
+        )
+
+    pairs: list[tuple[str, str]] = []
+    for child in children:
+        if isinstance(child, LiteralSwitch):
+            polarity = CONST_ONE if child.literal.negated else CONST_ZERO
+            pairs.append((child.literal.name, polarity))
+        elif isinstance(child, XorSwitch):
+            first = str(child.first)
+            second = str(child.second)
+            pairs.append((first, second))
+        else:
+            raise FabricConfigurationError(
+                f"{spec.function_id} mixes AND and OR terms; it does not fit a "
+                "single generalized gate"
+            )
+    return pairs
+
+
+@dataclass
+class FabricBlock:
+    """One tile of the fabric: a generalized gate plus its position."""
+
+    row: int
+    column: int
+    gate: GeneralizedGate
+    label: str | None = None
+
+
+@dataclass
+class RegularFabric:
+    """A checkerboard of GNOR / GNAND blocks with SRAM-configured routing.
+
+    The block kind alternates along rows and columns (type 1 / type 2 in
+    Fig. 7); routing is modelled only as a net-name binding, the electrical
+    cost of the interconnect being outside the paper's scope.
+    """
+
+    rows: int
+    columns: int
+    term_count: int = 3
+    blocks: list[FabricBlock] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.columns < 1:
+            raise ValueError("fabric dimensions must be positive")
+        if not self.blocks:
+            for r in range(self.rows):
+                for c in range(self.columns):
+                    kind = BlockKind.GNOR if (r + c) % 2 == 0 else BlockKind.GNAND
+                    self.blocks.append(
+                        FabricBlock(r, c, GeneralizedGate(kind, self.term_count))
+                    )
+
+    def block_at(self, row: int, column: int) -> FabricBlock:
+        for block in self.blocks:
+            if block.row == row and block.column == column:
+                return block
+        raise KeyError(f"no block at ({row}, {column})")
+
+    def free_blocks(self, kind: BlockKind) -> list[FabricBlock]:
+        return [
+            b for b in self.blocks if b.gate.kind is kind and not b.gate.is_configured()
+        ]
+
+    def place_function(self, spec: FunctionSpec, label: str | None = None) -> FabricBlock:
+        """Configure the first free block of the right kind for ``spec``."""
+        errors = []
+        for kind in (BlockKind.GNOR, BlockKind.GNAND):
+            try:
+                _decompose_terms(spec, kind, self.term_count)
+            except FabricConfigurationError as exc:
+                errors.append(str(exc))
+                continue
+            candidates = self.free_blocks(kind)
+            if not candidates:
+                raise FabricConfigurationError(
+                    f"no free {kind.value} block left for {spec.function_id}"
+                )
+            block = candidates[0]
+            block.gate.configure(spec)
+            block.label = label or spec.function_id
+            return block
+        raise FabricConfigurationError(
+            f"{spec.function_id} cannot be placed: {'; '.join(errors)}"
+        )
+
+    def utilization(self) -> float:
+        used = sum(1 for b in self.blocks if b.gate.is_configured())
+        return used / len(self.blocks)
+
+    def total_area(self) -> float:
+        """Total normalized area of all blocks (configured or not)."""
+        if not self.blocks:
+            return 0.0
+        per_kind: dict[BlockKind, float] = {}
+        for kind in BlockKind:
+            per_kind[kind] = GeneralizedGate(kind, self.term_count).area()
+        return sum(per_kind[b.gate.kind] for b in self.blocks)

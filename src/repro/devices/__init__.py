@@ -1,0 +1,45 @@
+"""Device and technology models.
+
+The paper evaluates three technologies:
+
+* ambipolar Schottky-barrier CNTFETs whose polarity is set in-field through a
+  polarity gate (Sec. 2), with equal electron and hole mobility
+  (``R_n == R_p``), intrinsic delay ``tau1 = 0.59 ps``;
+* the same devices used as pass transistors (worst-case on-resistance ``2R``
+  when conducting in the weak direction);
+* a 32 nm CMOS reference with a hole/electron mobility ratio of 2 and
+  intrinsic delay ``tau2 = 3.00 ps``.
+
+This subpackage holds the normalized technology constants
+(:class:`~repro.devices.models.Technology`), the device primitives
+(:class:`~repro.devices.transistor.Device`,
+:class:`~repro.devices.transistor.Literal`) and the transmission-gate helper
+(:mod:`repro.devices.transmission_gate`).
+"""
+
+from repro.devices.models import (
+    CMOS_32NM,
+    CNTFET_32NM,
+    Technology,
+)
+from repro.devices.transistor import (
+    ChannelType,
+    Device,
+    DeviceRole,
+    Literal,
+    PolarityControl,
+)
+from repro.devices.transmission_gate import transmission_gate_devices, pass_transistor_device
+
+__all__ = [
+    "Technology",
+    "CNTFET_32NM",
+    "CMOS_32NM",
+    "ChannelType",
+    "Device",
+    "DeviceRole",
+    "Literal",
+    "PolarityControl",
+    "transmission_gate_devices",
+    "pass_transistor_device",
+]

@@ -1,0 +1,109 @@
+"""Normalized technology constants used by sizing, area and delay models.
+
+All electrical quantities are normalized exactly as in the paper (Sec. 4):
+
+* the on-resistance of a unit-width (W/L = 1) transistor is ``R = 1``;
+* the gate capacitance of a unit-width transistor is ``C = 1`` and the
+  drain/source parasitic capacitance of a device equals its gate capacitance
+  (paper Sec. 4.3 assumption);
+* area is the sum of W/L over all devices in a cell;
+* delays are expressed in units of the technology-dependent intrinsic delay
+  ``tau`` (the delay of a fanout-of-1 inverter without parasitics), with
+  ``tau1 = 0.59 ps`` for CNTFETs and ``tau2 = 3.00 ps`` for 32 nm CMOS
+  (Table 2, bottom row, citing [1]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A normalized technology description.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (``"cntfet-32nm"`` or ``"cmos-32nm"``).
+    ambipolar:
+        True when devices have an in-field programmable polarity gate
+        (ambipolar SB-CNTFETs).  Only ambipolar technologies may build
+        CNTFET transmission gates and pass-transistor XOR switches.
+    pn_resistance_ratio:
+        On-resistance of a unit p-device divided by that of a unit n-device.
+        1.0 for CNTFETs (equal electron/hole mobility), 2.0 for CMOS.
+    weak_direction_factor:
+        Multiplier on the on-resistance of a device conducting in its weak
+        direction (an n-device passing a high level or a p-device passing a
+        low level); the paper uses 2 [12].
+    tau_ps:
+        Technology-dependent intrinsic delay in picoseconds used to convert
+        normalized delays to absolute delays.
+    lithography_pitch_nm:
+        Drawn feature pitch, for documentation purposes only.
+    """
+
+    name: str
+    ambipolar: bool
+    pn_resistance_ratio: float
+    weak_direction_factor: float
+    tau_ps: float
+    lithography_pitch_nm: float
+
+    @property
+    def inverter_nmos_width(self) -> float:
+        """Width of the unit inverter's pull-down device (always 1)."""
+        return 1.0
+
+    @property
+    def inverter_pmos_width(self) -> float:
+        """Width of the unit inverter's pull-up device.
+
+        Sized so that the pull-up resistance equals the pull-down resistance:
+        1 for CNTFETs, 2 for CMOS.
+        """
+        return self.pn_resistance_ratio
+
+    @property
+    def inverter_input_capacitance(self) -> float:
+        """Input capacitance of the unit inverter (normalization base for logical effort)."""
+        return self.inverter_nmos_width + self.inverter_pmos_width
+
+    @property
+    def inverter_area(self) -> float:
+        """Normalized area of the unit inverter."""
+        return self.inverter_nmos_width + self.inverter_pmos_width
+
+    def n_width_for_resistance(self, resistance: float) -> float:
+        """Width of an n-device achieving the given normalized on-resistance."""
+        if resistance <= 0:
+            raise ValueError("resistance must be positive")
+        return 1.0 / resistance
+
+    def p_width_for_resistance(self, resistance: float) -> float:
+        """Width of a p-device achieving the given normalized on-resistance."""
+        if resistance <= 0:
+            raise ValueError("resistance must be positive")
+        return self.pn_resistance_ratio / resistance
+
+
+#: Ambipolar SB-CNTFET technology at a 32 nm lithography pitch (paper Sec. 4).
+CNTFET_32NM = Technology(
+    name="cntfet-32nm",
+    ambipolar=True,
+    pn_resistance_ratio=1.0,
+    weak_direction_factor=2.0,
+    tau_ps=0.59,
+    lithography_pitch_nm=32.0,
+)
+
+#: 32 nm CMOS reference technology (paper Sec. 4, tau2 = 3.00 ps).
+CMOS_32NM = Technology(
+    name="cmos-32nm",
+    ambipolar=False,
+    pn_resistance_ratio=2.0,
+    weak_direction_factor=2.0,
+    tau_ps=3.00,
+    lithography_pitch_nm=32.0,
+)

@@ -1,0 +1,178 @@
+"""Device-level primitives: literals, channel types and transistors.
+
+An ambipolar CNTFET has four terminals: source, drain, the regular gate ``G``
+that switches the channel, and the polarity gate ``PG`` that sets the device
+polarity in-field (``PG = 0`` gives n-type behaviour, ``PG = 1`` gives p-type
+behaviour, Fig. 1 of the paper).  A conventional MOSFET is modelled as the
+same structure with the polarity permanently fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A signal name with an optional complementation.
+
+    ``Literal("A", negated=True)`` denotes the complemented signal ``A'``.
+    Library cells receive both polarities of their inputs (each gate carries an
+    output inverter, paper Sec. 4.3), so the two polarities are treated as two
+    distinct physical wires with separate capacitive loads.
+    """
+
+    name: str
+    negated: bool = False
+
+    def complement(self) -> "Literal":
+        return Literal(self.name, not self.negated)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        try:
+            value = bool(assignment[self.name])
+        except KeyError as exc:
+            raise KeyError(f"no value provided for signal {self.name!r}") from exc
+        return (not value) if self.negated else value
+
+    def __str__(self) -> str:
+        return f"{self.name}'" if self.negated else self.name
+
+
+class ChannelType(Enum):
+    """Electrical polarity of a device at a given moment."""
+
+    N = "n"
+    P = "p"
+
+
+class PolarityControl:
+    """How a device's polarity is determined.
+
+    * ``PolarityControl.fixed(ChannelType.N)`` -- a conventional device or an
+      ambipolar device whose polarity gate is tied to a rail.
+    * ``PolarityControl.signal(Literal("B"))`` -- an ambipolar device whose
+      polarity gate is driven by a logic signal: the device is n-type when the
+      literal evaluates to 0 and p-type when it evaluates to 1.
+    """
+
+    __slots__ = ("_fixed", "_literal")
+
+    def __init__(self, fixed: ChannelType | None, literal: Literal | None) -> None:
+        if (fixed is None) == (literal is None):
+            raise ValueError("exactly one of fixed / literal must be given")
+        self._fixed = fixed
+        self._literal = literal
+
+    @staticmethod
+    def fixed(channel: ChannelType) -> "PolarityControl":
+        return PolarityControl(channel, None)
+
+    @staticmethod
+    def signal(literal: Literal) -> "PolarityControl":
+        return PolarityControl(None, literal)
+
+    @property
+    def is_fixed(self) -> bool:
+        return self._fixed is not None
+
+    @property
+    def fixed_channel(self) -> ChannelType | None:
+        return self._fixed
+
+    @property
+    def literal(self) -> Literal | None:
+        return self._literal
+
+    def channel_type(self, assignment: Mapping[str, bool]) -> ChannelType:
+        """Resolve the device polarity under an input assignment."""
+        if self._fixed is not None:
+            return self._fixed
+        assert self._literal is not None
+        return ChannelType.P if self._literal.evaluate(assignment) else ChannelType.N
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PolarityControl):
+            return NotImplemented
+        return self._fixed == other._fixed and self._literal == other._literal
+
+    def __hash__(self) -> int:
+        return hash((self._fixed, self._literal))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self._fixed is not None:
+            return f"PolarityControl.fixed({self._fixed})"
+        return f"PolarityControl.signal({self._literal})"
+
+
+class DeviceRole(Enum):
+    """Where a device sits in the cell."""
+
+    PULL_UP = "pull-up"
+    PULL_DOWN = "pull-down"
+    PSEUDO_LOAD = "pseudo-load"
+    OUTPUT_INVERTER = "output-inverter"
+
+
+@dataclass(frozen=True)
+class Device:
+    """One transistor instance inside a cell netlist.
+
+    ``gate`` may be ``None`` for an always-on device (the weak pull-up load of
+    the pseudo families, whose gate is tied to the active rail).
+    """
+
+    role: DeviceRole
+    gate: Literal | None
+    polarity: PolarityControl
+    width: float
+    node_a: str
+    node_b: str
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError("device width must be positive")
+
+    def channel_type(self, assignment: Mapping[str, bool]) -> ChannelType:
+        return self.polarity.channel_type(assignment)
+
+    def conducts(self, assignment: Mapping[str, bool]) -> bool:
+        """Whether the channel conducts under the given input assignment.
+
+        An n-type device conducts when its gate is high; a p-type device
+        conducts when its gate is low.  Always-on loads conduct
+        unconditionally.
+        """
+        channel = self.channel_type(assignment)
+        if self.gate is None:
+            return True
+        gate_value = self.gate.evaluate(assignment)
+        return gate_value if channel is ChannelType.N else not gate_value
+
+    def passes_strongly(self, rail_value: bool, assignment: Mapping[str, bool]) -> bool:
+        """Whether this device passes the given rail value without degradation.
+
+        An n-type device passes a low level (0) at full swing but degrades a
+        high level to ``VDD - VTn``; a p-type device passes a high level at
+        full swing but degrades a low level to ``|VTp|`` (paper Sec. 3.1).
+        """
+        channel = self.channel_type(assignment)
+        return channel is ChannelType.P if rail_value else channel is ChannelType.N
+
+    def signal_loads(self) -> dict[Literal, float]:
+        """Capacitive load this device presents to each distinct signal literal.
+
+        Both the regular gate and the polarity gate contribute one gate
+        capacitance proportional to the device width (the paper assumes equal
+        capacitance for both gates, Sec. 4.3).
+        """
+        loads: dict[Literal, float] = {}
+        if self.gate is not None:
+            loads[self.gate] = loads.get(self.gate, 0.0) + self.width
+        if not self.polarity.is_fixed:
+            literal = self.polarity.literal
+            assert literal is not None
+            loads[literal] = loads.get(literal, 0.0) + self.width
+        return loads

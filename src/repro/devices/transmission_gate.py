@@ -1,0 +1,75 @@
+"""Ambipolar CNTFET transmission gates and pass-transistor XOR switches.
+
+A single ambipolar CNTFET with its regular gate on ``U`` and its polarity
+gate on ``V`` conducts exactly when ``U xor V`` is true (it is n-type when
+``V = 0`` and then needs ``U = 1``; it is p-type when ``V = 1`` and then needs
+``U = 0``).  This is the pass-transistor XOR switch of Sec. 3.2.
+
+Pairing that device with a second one controlled by the complemented signals
+(``U'`` on the gate, ``V'`` on the polarity gate) yields a *transmission
+gate* (Fig. 3): both devices conduct under the same condition ``U xor V``,
+but at any moment one of them is n-type and the other p-type, so one of the
+two always restores the passed level to full swing.
+"""
+
+from __future__ import annotations
+
+from repro.devices.transistor import Device, DeviceRole, Literal, PolarityControl
+
+
+def transmission_gate_devices(
+    gate_literal: Literal,
+    polarity_literal: Literal,
+    width_each: float,
+    node_a: str,
+    node_b: str,
+    role: DeviceRole,
+) -> tuple[Device, Device]:
+    """The two devices of a CNTFET transmission gate conducting on ``gate ^ polarity``.
+
+    ``width_each`` is the width of each of the two parallel devices; the
+    equivalent on-resistance of the pair is ``(2/3) / width_each`` because the
+    strongly conducting device (resistance ``1/W``) is in parallel with the
+    weak-direction one (resistance ``2/W``) -- paper Sec. 4.1.
+    """
+    first = Device(
+        role=role,
+        gate=gate_literal,
+        polarity=PolarityControl.signal(polarity_literal),
+        width=width_each,
+        node_a=node_a,
+        node_b=node_b,
+    )
+    second = Device(
+        role=role,
+        gate=gate_literal.complement(),
+        polarity=PolarityControl.signal(polarity_literal.complement()),
+        width=width_each,
+        node_a=node_a,
+        node_b=node_b,
+    )
+    return first, second
+
+
+def pass_transistor_device(
+    gate_literal: Literal,
+    polarity_literal: Literal,
+    width: float,
+    node_a: str,
+    node_b: str,
+    role: DeviceRole,
+) -> Device:
+    """A single ambipolar pass transistor conducting on ``gate ^ polarity``.
+
+    Its worst-case on-resistance is ``2 / width`` (weak-direction conduction),
+    which is why the pass-transistor families size these devices twice as
+    large as a plain transistor of the same drive (paper Sec. 4.2).
+    """
+    return Device(
+        role=role,
+        gate=gate_literal,
+        polarity=PolarityControl.signal(polarity_literal),
+        width=width,
+        node_a=node_a,
+        node_b=node_b,
+    )

@@ -1,0 +1,34 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+* :mod:`repro.experiments.table2` -- library characterization (Table 2);
+* :mod:`repro.experiments.table3` -- technology-mapping results over the 15
+  benchmarks (Table 3);
+* :mod:`repro.experiments.figure6` -- the per-benchmark CMOS-to-CNTFET
+  absolute-delay ratios (Figure 6);
+* :mod:`repro.experiments.report` -- text rendering and paper-vs-measured
+  comparison helpers used by EXPERIMENTS.md and the pytest benchmarks.
+"""
+
+from repro.experiments.table2 import Table2Result, run_table2
+from repro.experiments.table3 import Table3Result, Table3Row, run_table3
+from repro.experiments.figure6 import Figure6Result, run_figure6
+from repro.experiments.report import (
+    render_table2,
+    render_table3,
+    render_figure6,
+    render_comparison,
+)
+
+__all__ = [
+    "Table2Result",
+    "run_table2",
+    "Table3Row",
+    "Table3Result",
+    "run_table3",
+    "Figure6Result",
+    "run_figure6",
+    "render_table2",
+    "render_table3",
+    "render_figure6",
+    "render_comparison",
+]

@@ -1,0 +1,85 @@
+"""Experiment: regenerate Figure 6 (CMOS-to-CNTFET absolute-delay ratios).
+
+Figure 6 of the paper plots, for every benchmark, the ratio of the absolute
+delay of the CMOS implementation to that of the CNTFET implementation, for
+the static and pseudo transmission-gate families.  The data is derived
+directly from the Table-3 measurements (normalized delay times the
+technology intrinsic delay), so this experiment reuses a
+:class:`~repro.experiments.table3.Table3Result` and extracts the two series
+plus their averages (the paper reports 6.9x and 5.8x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.families import LogicFamily
+from repro.core.paper_data import PAPER_TAU_PS, paper_benchmark
+from repro.experiments.table3 import Table3Result, run_table3
+
+
+@dataclass(frozen=True)
+class Figure6Result:
+    """Per-benchmark speed-up series for the static and pseudo families."""
+
+    benchmark_names: tuple[str, ...]
+    static_speedups: tuple[float, ...]
+    pseudo_speedups: tuple[float, ...]
+    paper_static_speedups: tuple[float, ...]
+    paper_pseudo_speedups: tuple[float, ...]
+
+    @property
+    def average_static_speedup(self) -> float:
+        return sum(self.static_speedups) / len(self.static_speedups)
+
+    @property
+    def average_pseudo_speedup(self) -> float:
+        return sum(self.pseudo_speedups) / len(self.pseudo_speedups)
+
+    @property
+    def paper_average_static_speedup(self) -> float:
+        return sum(self.paper_static_speedups) / len(self.paper_static_speedups)
+
+    @property
+    def paper_average_pseudo_speedup(self) -> float:
+        return sum(self.paper_pseudo_speedups) / len(self.paper_pseudo_speedups)
+
+    def series(self) -> dict[str, dict[str, float]]:
+        """Figure data keyed by benchmark name (ready for plotting or tabulation)."""
+        data: dict[str, dict[str, float]] = {}
+        for i, name in enumerate(self.benchmark_names):
+            data[name] = {
+                "static": self.static_speedups[i],
+                "pseudo": self.pseudo_speedups[i],
+                "paper_static": self.paper_static_speedups[i],
+                "paper_pseudo": self.paper_pseudo_speedups[i],
+            }
+        return data
+
+
+def figure6_from_table3(table3: Table3Result) -> Figure6Result:
+    """Derive the Figure-6 series from already-computed Table-3 results."""
+    names: list[str] = []
+    static: list[float] = []
+    pseudo: list[float] = []
+    paper_static: list[float] = []
+    paper_pseudo: list[float] = []
+    for row in table3.rows:
+        names.append(row.name)
+        static.append(row.speedup_vs_cmos(LogicFamily.TG_STATIC))
+        pseudo.append(row.speedup_vs_cmos(LogicFamily.TG_PSEUDO))
+        paper = paper_benchmark(row.name)
+        paper_static.append(paper.cmos.absolute_delay_ps / paper.tg_static.absolute_delay_ps)
+        paper_pseudo.append(paper.cmos.absolute_delay_ps / paper.tg_pseudo.absolute_delay_ps)
+    return Figure6Result(
+        benchmark_names=tuple(names),
+        static_speedups=tuple(static),
+        pseudo_speedups=tuple(pseudo),
+        paper_static_speedups=tuple(paper_static),
+        paper_pseudo_speedups=tuple(paper_pseudo),
+    )
+
+
+def run_figure6(benchmark_names: tuple[str, ...] | None = None) -> Figure6Result:
+    """Run the mapping flow and produce the Figure-6 series."""
+    return figure6_from_table3(run_table3(benchmark_names=benchmark_names))

@@ -1,0 +1,162 @@
+"""Text rendering of the regenerated tables and figures.
+
+These helpers render the measured results in the same row/column layout as
+the paper's tables so that EXPERIMENTS.md and the pytest benchmark output can
+be compared against the published values at a glance.
+"""
+
+from __future__ import annotations
+
+from repro.core.families import LogicFamily
+from repro.experiments.figure6 import Figure6Result
+from repro.experiments.table2 import Table2Result
+from repro.experiments.table3 import Table3Result
+
+_FAMILY_LABELS = {
+    LogicFamily.TG_STATIC: "CNTFET TG static",
+    LogicFamily.TG_PSEUDO: "CNTFET TG pseudo",
+    LogicFamily.PASS_STATIC: "CNTFET pass static",
+    LogicFamily.PASS_PSEUDO: "CNTFET pass pseudo",
+    LogicFamily.CMOS: "CMOS static",
+}
+
+
+def render_table2(result: Table2Result, per_cell: bool = False) -> str:
+    """Render the Table-2 family summaries (and optionally every cell row)."""
+    lines = ["Table 2 -- library characterization (measured vs. paper averages)"]
+    header = (
+        f"{'family':<22} {'cells':>5} {'T(avg)':>7} {'A(avg)':>7} "
+        f"{'FO4 w':>7} {'FO4 a':>7} {'paper A':>8} {'paper a':>8}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for family, summary in result.summaries.items():
+        paper = result.paper_averages[family]
+        lines.append(
+            f"{_FAMILY_LABELS[family]:<22} {summary.cell_count:>5d} "
+            f"{summary.average_transistors:>7.1f} {summary.average_area:>7.1f} "
+            f"{summary.average_fo4_worst:>7.1f} {summary.average_fo4:>7.1f} "
+            f"{paper.area:>8.1f} {paper.fo4_average:>8.1f}"
+        )
+    if per_cell:
+        for family, rows in result.rows.items():
+            lines.append("")
+            lines.append(f"-- per-cell rows, {_FAMILY_LABELS[family]} --")
+            for row in rows:
+                paper_row = result.paper_rows[family].get(row.function_id)
+                paper_text = (
+                    f"paper: T={paper_row.transistors} A={paper_row.area:.1f} "
+                    f"a={paper_row.fo4_average:.1f}"
+                    if paper_row
+                    else "paper: --"
+                )
+                lines.append(
+                    f"{row.function_id}  T={row.transistors:<3d} A={row.area:<6.1f} "
+                    f"FO4w={row.fo4_worst:<6.1f} FO4a={row.fo4_average:<6.1f} | {paper_text}"
+                )
+    return "\n".join(lines)
+
+
+def render_table3(result: Table3Result) -> str:
+    """Render the measured Table-3 rows with the paper's values alongside."""
+    lines = ["Table 3 -- technology mapping (measured; paper values in parentheses)"]
+    header = (
+        f"{'benchmark':<10} {'family':<18} {'gates':>12} {'area':>16} "
+        f"{'levels':>11} {'norm delay':>16} {'abs delay ps':>16}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in result.rows:
+        for family in (LogicFamily.TG_STATIC, LogicFamily.TG_PSEUDO, LogicFamily.CMOS):
+            stats = row.results.get(family)
+            if stats is None:
+                continue
+            paper_stats = None
+            if row.paper is not None:
+                paper_stats = {
+                    LogicFamily.TG_STATIC: row.paper.tg_static,
+                    LogicFamily.TG_PSEUDO: row.paper.tg_pseudo,
+                    LogicFamily.CMOS: row.paper.cmos,
+                }[family]
+            def fmt(value, paper_value, pattern="{:.1f}"):
+                text = pattern.format(value)
+                if paper_value is None:
+                    return text
+                return f"{text} ({pattern.format(paper_value)})"
+            lines.append(
+                f"{row.name:<10} {_FAMILY_LABELS[family]:<18} "
+                f"{fmt(stats.gates, paper_stats.gates if paper_stats else None, '{:.0f}'):>12} "
+                f"{fmt(stats.area, paper_stats.area if paper_stats else None, '{:.0f}'):>16} "
+                f"{fmt(stats.levels, paper_stats.levels if paper_stats else None, '{:.0f}'):>11} "
+                f"{fmt(stats.normalized_delay, paper_stats.normalized_delay if paper_stats else None):>16} "
+                f"{fmt(stats.absolute_delay_ps, paper_stats.absolute_delay_ps if paper_stats else None):>16}"
+            )
+    lines.append("")
+    lines.append("Average improvements vs. CMOS (measured / paper):")
+    paper_improvements = {
+        LogicFamily.TG_STATIC: (0.386, 0.377, 0.415, 0.264, 6.9),
+        LogicFamily.TG_PSEUDO: (0.379, 0.645, 0.404, 0.130, 5.8),
+    }
+    for family in (LogicFamily.TG_STATIC, LogicFamily.TG_PSEUDO):
+        if family not in result.rows[0].results:
+            continue
+        gates = result.average_improvement(family, "gates")
+        area = result.average_improvement(family, "area")
+        levels = result.average_improvement(family, "levels")
+        delay = result.average_improvement(family, "normalized_delay")
+        speedup = result.average_speedup(family)
+        p = paper_improvements[family]
+        lines.append(
+            f"  {_FAMILY_LABELS[family]:<18} gates {gates:5.1%} ({p[0]:.1%})  "
+            f"area {area:5.1%} ({p[1]:.1%})  levels {levels:5.1%} ({p[2]:.1%})  "
+            f"norm delay {delay:5.1%} ({p[3]:.1%})  speed-up {speedup:4.1f}x ({p[4]:.1f}x)"
+        )
+    return "\n".join(lines)
+
+
+def render_figure6(result: Figure6Result) -> str:
+    """Render the Figure-6 series as a text bar chart."""
+    lines = ["Figure 6 -- ratio of CMOS absolute delay to CNTFET absolute delay"]
+    lines.append(
+        f"{'benchmark':<10} {'static':>8} {'pseudo':>8} {'paper s':>9} {'paper p':>9}  bar (static)"
+    )
+    for i, name in enumerate(result.benchmark_names):
+        static = result.static_speedups[i]
+        pseudo = result.pseudo_speedups[i]
+        bar = "#" * max(int(round(static * 2)), 1)
+        lines.append(
+            f"{name:<10} {static:>8.2f} {pseudo:>8.2f} "
+            f"{result.paper_static_speedups[i]:>9.2f} {result.paper_pseudo_speedups[i]:>9.2f}  {bar}"
+        )
+    lines.append(
+        f"{'Average':<10} {result.average_static_speedup:>8.2f} "
+        f"{result.average_pseudo_speedup:>8.2f} "
+        f"{result.paper_average_static_speedup:>9.2f} "
+        f"{result.paper_average_pseudo_speedup:>9.2f}"
+    )
+    return "\n".join(lines)
+
+
+def render_comparison(result: Table3Result) -> str:
+    """One-line verdicts on the qualitative claims of the paper."""
+    static = LogicFamily.TG_STATIC
+    pseudo = LogicFamily.TG_PSEUDO
+    checks = [
+        ("static library uses fewer gates than CMOS on average",
+         result.average_improvement(static, "gates") > 0),
+        ("static library uses less area than CMOS on average",
+         result.average_improvement(static, "area") > 0),
+        ("pseudo library saves more area than the static library",
+         result.average_improvement(pseudo, "area")
+         > result.average_improvement(static, "area")),
+        ("static library is faster (absolute) than CMOS on average",
+         result.average_speedup(static) > 1.0),
+        ("static library is faster than the pseudo library",
+         result.average_speedup(static) > result.average_speedup(pseudo)),
+        ("logic depth is reduced versus CMOS",
+         result.average_improvement(static, "levels") > 0),
+    ]
+    lines = ["Qualitative claims of the paper (measured verdicts):"]
+    for text, verdict in checks:
+        lines.append(f"  [{'ok' if verdict else 'FAIL'}] {text}")
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Command-line entry point for regenerating every table and figure.
+
+Run as ``python -m repro.experiments.runner`` (optionally with a subset of
+benchmark names) to print the regenerated Table 2, Table 3 and Figure 6 with
+the paper's values alongside.  The same code paths are exercised by the
+pytest benchmarks in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.figure6 import figure6_from_table3
+from repro.experiments.report import (
+    render_comparison,
+    render_figure6,
+    render_table2,
+    render_table3,
+)
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "benchmarks",
+        nargs="*",
+        help="optional subset of Table-3 benchmark names (default: all 15)",
+    )
+    parser.add_argument(
+        "--per-cell",
+        action="store_true",
+        help="print every Table-2 cell row, not only the family averages",
+    )
+    parser.add_argument(
+        "--skip-table3",
+        action="store_true",
+        help="only regenerate Table 2 (fast)",
+    )
+    args = parser.parse_args(argv)
+
+    start = time.time()
+    table2 = run_table2()
+    print(render_table2(table2, per_cell=args.per_cell))
+    print()
+
+    if not args.skip_table3:
+        names = tuple(args.benchmarks) if args.benchmarks else None
+        table3 = run_table3(benchmark_names=names)
+        print(render_table3(table3))
+        print()
+        print(render_figure6(figure6_from_table3(table3)))
+        print()
+        print(render_comparison(table3))
+
+    print(f"\ntotal runtime: {time.time() - start:.1f} s")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

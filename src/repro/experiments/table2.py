@@ -1,0 +1,82 @@
+"""Experiment: regenerate Table 2 (library characterization).
+
+For each logic family the experiment builds the complete cell set from the
+transistor-level construction rules, characterizes it (transistor count,
+normalized area, FO4 worst/average) and collects both the per-cell rows and
+the family averages, alongside the published values for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.characterize import (
+    CellCharacterization,
+    FamilySummary,
+    characterize_family,
+)
+from repro.core.families import LogicFamily
+from repro.core.library import build_library
+from repro.core.paper_data import PAPER_TABLE2, PAPER_TABLE2_AVERAGES, PaperCellRow
+
+#: Mapping from our family enum to the paper_data column keys.
+FAMILY_KEYS = {
+    LogicFamily.TG_STATIC: "tg_static",
+    LogicFamily.TG_PSEUDO: "tg_pseudo",
+    LogicFamily.PASS_PSEUDO: "pass_pseudo",
+    LogicFamily.CMOS: "cmos",
+}
+
+#: Families characterized in the published Table 2 (the pass-transistor
+#: static family is discussed but not tabulated).
+TABLE2_FAMILIES = (
+    LogicFamily.TG_STATIC,
+    LogicFamily.TG_PSEUDO,
+    LogicFamily.PASS_PSEUDO,
+    LogicFamily.CMOS,
+)
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """Measured and published characterization for the Table-2 families."""
+
+    rows: dict[LogicFamily, tuple[CellCharacterization, ...]]
+    summaries: dict[LogicFamily, FamilySummary]
+    paper_rows: dict[LogicFamily, dict[str, PaperCellRow]]
+    paper_averages: dict[LogicFamily, PaperCellRow]
+
+    def measured_average(self, family: LogicFamily) -> FamilySummary:
+        return self.summaries[family]
+
+    def area_ratio_to_paper(self, family: LogicFamily) -> float:
+        """Measured average area divided by the published average area."""
+        return self.summaries[family].average_area / self.paper_averages[family].area
+
+
+def run_table2(families: tuple[LogicFamily, ...] = TABLE2_FAMILIES) -> Table2Result:
+    """Characterize every requested family and bundle the paper values."""
+    rows: dict[LogicFamily, tuple[CellCharacterization, ...]] = {}
+    summaries: dict[LogicFamily, FamilySummary] = {}
+    paper_rows: dict[LogicFamily, dict[str, PaperCellRow]] = {}
+    paper_averages: dict[LogicFamily, PaperCellRow] = {}
+
+    for family in families:
+        library = build_library(family)
+        family_rows, summary = characterize_family(library)
+        rows[family] = family_rows
+        summaries[family] = summary
+        key = FAMILY_KEYS[family]
+        paper_rows[family] = {
+            function_id: columns[key]
+            for function_id, columns in PAPER_TABLE2.items()
+            if key in columns
+        }
+        paper_averages[family] = PAPER_TABLE2_AVERAGES[key]
+
+    return Table2Result(
+        rows=rows,
+        summaries=summaries,
+        paper_rows=paper_rows,
+        paper_averages=paper_averages,
+    )

@@ -1,0 +1,161 @@
+"""Experiment: regenerate Table 3 (technology-mapping results).
+
+Every Table-3 benchmark is generated, optimized with the technology-
+independent flow (the ``resyn2rs`` stand-in) and mapped onto the CNTFET
+transmission-gate static library, the CNTFET transmission-gate pseudo library
+and the CMOS reference library.  For each mapping the experiment records the
+gate count, normalized area, logic depth, normalized delay and absolute delay
+(the five columns of Table 3), plus the paper's published row for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.registry import BENCHMARKS, BenchmarkCase
+from repro.core.families import LogicFamily
+from repro.core.library import build_library
+from repro.core.paper_data import PAPER_TABLE3, PaperBenchmark, PaperBenchmarkRow
+from repro.synthesis.aig import Aig
+from repro.synthesis.mapper import MappedCircuit, technology_map
+from repro.synthesis.matcher import matcher_for
+from repro.synthesis.optimize import optimize
+
+#: The three libraries compared in Table 3.
+TABLE3_FAMILIES = (
+    LogicFamily.TG_STATIC,
+    LogicFamily.TG_PSEUDO,
+    LogicFamily.CMOS,
+)
+
+
+@dataclass(frozen=True)
+class MappingStats:
+    """The five Table-3 columns for one benchmark and one library."""
+
+    gates: int
+    area: float
+    levels: int
+    normalized_delay: float
+    absolute_delay_ps: float
+
+    @staticmethod
+    def from_mapped(mapped: MappedCircuit) -> "MappingStats":
+        return MappingStats(
+            gates=mapped.gate_count,
+            area=mapped.area,
+            levels=mapped.levels,
+            normalized_delay=mapped.normalized_delay,
+            absolute_delay_ps=mapped.absolute_delay_ps,
+        )
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """Measured results for one benchmark across the three families."""
+
+    name: str
+    function: str
+    aig_nodes: int
+    aig_depth: int
+    results: dict[LogicFamily, MappingStats]
+    paper: PaperBenchmark | None
+
+    def improvement_vs_cmos(self, family: LogicFamily, metric: str) -> float:
+        """Fractional reduction of a metric relative to the CMOS mapping."""
+        ours = getattr(self.results[family], metric)
+        cmos = getattr(self.results[LogicFamily.CMOS], metric)
+        if cmos == 0:
+            return 0.0
+        return 1.0 - ours / cmos
+
+    def speedup_vs_cmos(self, family: LogicFamily) -> float:
+        """Ratio of CMOS absolute delay to the family's absolute delay (Fig. 6)."""
+        ours = self.results[family].absolute_delay_ps
+        cmos = self.results[LogicFamily.CMOS].absolute_delay_ps
+        return cmos / ours if ours else 0.0
+
+
+@dataclass
+class Table3Result:
+    """All measured Table-3 rows plus aggregate statistics."""
+
+    rows: list[Table3Row] = field(default_factory=list)
+
+    def row(self, name: str) -> Table3Row:
+        for row in self.rows:
+            if row.name == name:
+                return row
+        raise KeyError(f"no result for benchmark {name!r}")
+
+    def average(self, family: LogicFamily, metric: str) -> float:
+        values = [getattr(row.results[family], metric) for row in self.rows]
+        return sum(values) / len(values) if values else 0.0
+
+    def average_improvement(self, family: LogicFamily, metric: str) -> float:
+        """Improvement of the per-benchmark averages, as the paper computes it."""
+        ours = self.average(family, metric)
+        cmos = self.average(LogicFamily.CMOS, metric)
+        if cmos == 0:
+            return 0.0
+        return 1.0 - ours / cmos
+
+    def average_speedup(self, family: LogicFamily) -> float:
+        """Mean per-benchmark CMOS-to-family absolute-delay ratio (Fig. 6 average)."""
+        values = [row.speedup_vs_cmos(family) for row in self.rows]
+        return sum(values) / len(values) if values else 0.0
+
+
+def _paper_row(name: str) -> PaperBenchmark | None:
+    for row in PAPER_TABLE3:
+        if row.name == name:
+            return row
+    return None
+
+
+def map_benchmark(
+    case: BenchmarkCase,
+    families: tuple[LogicFamily, ...] = TABLE3_FAMILIES,
+    objective: str = "delay",
+    optimize_first: bool = True,
+) -> Table3Row:
+    """Run the full flow (generate, optimize, map onto each family) for one benchmark."""
+    aig: Aig = case.build()
+    if optimize_first:
+        aig = optimize(aig)
+    results: dict[LogicFamily, MappingStats] = {}
+    for family in families:
+        library = build_library(family)
+        mapped = technology_map(aig, library, matcher=matcher_for(library), objective=objective)
+        results[family] = MappingStats.from_mapped(mapped)
+    return Table3Row(
+        name=case.name,
+        function=case.function,
+        aig_nodes=aig.num_ands,
+        aig_depth=aig.depth(),
+        results=results,
+        paper=_paper_row(case.name),
+    )
+
+
+def run_table3(
+    benchmark_names: tuple[str, ...] | None = None,
+    families: tuple[LogicFamily, ...] = TABLE3_FAMILIES,
+    objective: str = "delay",
+    optimize_first: bool = True,
+) -> Table3Result:
+    """Regenerate Table 3 (optionally restricted to a subset of benchmarks)."""
+    cases = BENCHMARKS
+    if benchmark_names is not None:
+        wanted = set(benchmark_names)
+        cases = tuple(case for case in BENCHMARKS if case.name in wanted)
+        missing = wanted - {case.name for case in cases}
+        if missing:
+            raise KeyError(f"unknown benchmarks requested: {sorted(missing)}")
+    result = Table3Result()
+    for case in cases:
+        result.rows.append(
+            map_benchmark(case, families=families, objective=objective,
+                          optimize_first=optimize_first)
+        )
+    return result

@@ -1,0 +1,297 @@
+"""Boolean expression AST and parser.
+
+The gate library of the paper (Table 1) is specified as algebraic forms such
+as ``(A ^ B) & C`` or ``(A ^ D) | ((B ^ E) & (C ^ F))``.  This module provides
+a small immutable AST, a recursive-descent parser for that notation, and
+conversion to :class:`~repro.logic.truth_table.TruthTable`.
+
+Grammar (lowest to highest precedence)::
+
+    or_expr   := xor_expr ('|' xor_expr)*          also accepts '+'
+    xor_expr  := and_expr ('^' and_expr)*
+    and_expr  := unary ('&' unary)*                 also accepts '*' and '.'
+    unary     := '!' unary | '~' unary | primary ("'")*
+    primary   := NAME | '0' | '1' | '(' or_expr ')'
+
+A trailing apostrophe (``A'``) complements a term, matching the notation of
+the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from repro.logic.truth_table import TruthTable
+
+
+class Expr:
+    """Base class for Boolean expression nodes."""
+
+    def variables(self) -> tuple[str, ...]:
+        """Sorted tuple of distinct variable names appearing in the expression."""
+        names: set[str] = set()
+        self._collect_variables(names)
+        return tuple(sorted(names))
+
+    def _collect_variables(self, into: set[str]) -> None:
+        raise NotImplementedError
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        """Evaluate under a variable assignment."""
+        raise NotImplementedError
+
+    def to_truth_table(self, variable_order: Sequence[str] | None = None) -> TruthTable:
+        """Convert to a truth table over ``variable_order`` (default: sorted names)."""
+        order = list(variable_order) if variable_order is not None else list(self.variables())
+        missing = set(self.variables()) - set(order)
+        if missing:
+            raise ValueError(f"variable order missing names: {sorted(missing)}")
+        index = {name: i for i, name in enumerate(order)}
+        num_vars = len(order)
+        bits = 0
+        for minterm in range(1 << num_vars):
+            assignment = {name: bool((minterm >> index[name]) & 1) for name in order}
+            if self.evaluate(assignment):
+                bits |= 1 << minterm
+        return TruthTable(num_vars, bits)
+
+    # Operator sugar used heavily by tests and generators.
+    def __and__(self, other: "Expr") -> "Expr":
+        return And(self, _coerce(other))
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Or(self, _coerce(other))
+
+    def __xor__(self, other: "Expr") -> "Expr":
+        return Xor(self, _coerce(other))
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+
+def _coerce(value: "Expr | bool | int") -> "Expr":
+    if isinstance(value, Expr):
+        return value
+    return Const(bool(value))
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A named input variable."""
+
+    name: str
+
+    def _collect_variables(self, into: set[str]) -> None:
+        into.add(self.name)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        try:
+            return bool(assignment[self.name])
+        except KeyError as exc:
+            raise KeyError(f"no value provided for variable {self.name!r}") from exc
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A Boolean constant."""
+
+    value: bool
+
+    def _collect_variables(self, into: set[str]) -> None:
+        return None
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return self.value
+
+    def __str__(self) -> str:
+        return "1" if self.value else "0"
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """Logical complement."""
+
+    operand: Expr
+
+    def _collect_variables(self, into: set[str]) -> None:
+        self.operand._collect_variables(into)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return not self.operand.evaluate(assignment)
+
+    def __str__(self) -> str:
+        return f"!{_wrap(self.operand)}"
+
+
+@dataclass(frozen=True)
+class _Binary(Expr):
+    left: Expr
+    right: Expr
+    _symbol = "?"
+
+    def _collect_variables(self, into: set[str]) -> None:
+        self.left._collect_variables(into)
+        self.right._collect_variables(into)
+
+    def __str__(self) -> str:
+        return f"({self.left} {self._symbol} {self.right})"
+
+
+class And(_Binary):
+    _symbol = "&"
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return self.left.evaluate(assignment) and self.right.evaluate(assignment)
+
+
+class Or(_Binary):
+    _symbol = "|"
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return self.left.evaluate(assignment) or self.right.evaluate(assignment)
+
+
+class Xor(_Binary):
+    _symbol = "^"
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return self.left.evaluate(assignment) != self.right.evaluate(assignment)
+
+
+def _wrap(expr: Expr) -> str:
+    if isinstance(expr, (Var, Const, Not)):
+        return str(expr)
+    return f"({expr})"
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+_NAME_CHARS = set("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz_0123456789[]")
+
+
+class ExprParseError(ValueError):
+    """Raised when an expression string cannot be parsed."""
+
+
+def _tokenize(text: str) -> Iterator[str]:
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in "()&|^!~'":
+            yield ch
+            i += 1
+            continue
+        if ch in "+*.":
+            # Alternative spellings used in the paper's algebra.
+            yield {"+": "|", "*": "&", ".": "&"}[ch]
+            i += 1
+            continue
+        if ch.isalpha() or ch == "_" or ch.isdigit():
+            start = i
+            while i < length and text[i] in _NAME_CHARS:
+                i += 1
+            yield text[start:i]
+            continue
+        raise ExprParseError(f"unexpected character {ch!r} at position {i}")
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens = list(_tokenize(text))
+        self._pos = 0
+        self._text = text
+
+    def _peek(self) -> str | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise ExprParseError(f"unexpected end of expression: {self._text!r}")
+        self._pos += 1
+        return token
+
+    def parse(self) -> Expr:
+        expr = self._or()
+        if self._peek() is not None:
+            raise ExprParseError(
+                f"trailing tokens starting at {self._peek()!r} in {self._text!r}"
+            )
+        return expr
+
+    def _or(self) -> Expr:
+        expr = self._xor()
+        while self._peek() == "|":
+            self._next()
+            expr = Or(expr, self._xor())
+        return expr
+
+    def _xor(self) -> Expr:
+        expr = self._and()
+        while self._peek() == "^":
+            self._next()
+            expr = Xor(expr, self._and())
+        return expr
+
+    def _and(self) -> Expr:
+        expr = self._unary()
+        while True:
+            token = self._peek()
+            if token == "&":
+                self._next()
+                expr = And(expr, self._unary())
+            elif token is not None and (token == "(" or _is_name(token)):
+                # Implicit AND by juxtaposition, e.g. "A B" or "A(B|C)".
+                expr = And(expr, self._unary())
+            else:
+                return expr
+
+    def _unary(self) -> Expr:
+        token = self._peek()
+        if token in ("!", "~"):
+            self._next()
+            return self._postfix(Not(self._unary()))
+        return self._postfix(self._primary())
+
+    def _postfix(self, expr: Expr) -> Expr:
+        while self._peek() == "'":
+            self._next()
+            expr = Not(expr)
+        return expr
+
+    def _primary(self) -> Expr:
+        token = self._next()
+        if token == "(":
+            expr = self._or()
+            closing = self._next()
+            if closing != ")":
+                raise ExprParseError(f"expected ')' but found {closing!r}")
+            return expr
+        if token == "0":
+            return Const(False)
+        if token == "1":
+            return Const(True)
+        if _is_name(token):
+            return Var(token)
+        raise ExprParseError(f"unexpected token {token!r} in {self._text!r}")
+
+
+def _is_name(token: str) -> bool:
+    return bool(token) and token not in "()&|^!~'" and not token.isspace()
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse an expression string into an :class:`Expr` tree."""
+    return _Parser(text).parse()

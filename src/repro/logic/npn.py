@@ -1,0 +1,118 @@
+"""Input permutation / phase enumeration and NPN canonicalization.
+
+Technology mapping matches the Boolean function computed by a cut of the
+subject graph against the functions implemented by library cells.  The paper
+notes (Sec. 3.1) that the mapping tool is aware of the additional gates
+obtained by swapping signal polarities at the transmission gates; we model
+that freedom by matching modulo input permutation and input/output
+complementation (NPN equivalence).
+
+Two services are provided:
+
+* :func:`all_input_permutation_phase_tables` enumerates every table obtained
+  from a base function by permuting and/or complementing inputs (and
+  optionally the output).  The matcher pre-computes these for every library
+  cell and stores them in a dictionary keyed by the raw table bits, so that a
+  cut function is matched with a single dictionary lookup.
+* :func:`npn_canonical` computes a canonical representative (by exhaustive
+  search, practical up to 6 inputs) used to group functions into equivalence
+  classes in tests and analyses.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Iterator, NamedTuple
+
+from repro.logic.truth_table import TruthTable
+
+
+class InputMatch(NamedTuple):
+    """Describes how a target function maps onto a base library function.
+
+    ``permutation[j]`` is the base-function input that the target's input ``j``
+    drives; ``phase`` bit ``j`` is set when target input ``j`` must be
+    complemented before entering the base function; ``output_negated`` records
+    whether the base function's output must be complemented.
+    """
+
+    permutation: tuple[int, ...]
+    phase: int
+    output_negated: bool
+
+
+def enumerate_permutation_phase(
+    table: TruthTable, include_output_negation: bool = False
+) -> Iterator[tuple[TruthTable, InputMatch]]:
+    """Yield every (table, match) pair reachable by permuting/complementing inputs.
+
+    The ``match`` describes how to wire the *original* function's inputs so
+    that it realizes the yielded table; this is exactly the information the
+    technology mapper needs to instantiate a library cell for a matched cut.
+    """
+    n = table.num_vars
+    seen_phase_tables: dict[int, TruthTable] = {}
+    for phase in range(1 << n):
+        seen_phase_tables[phase] = table.apply_phase(phase)
+    for perm in permutations(range(n)):
+        for phase, phased in seen_phase_tables.items():
+            permuted = phased.permute_inputs(perm)
+            match = InputMatch(tuple(perm), phase, False)
+            yield permuted, match
+            if include_output_negation:
+                yield ~permuted, InputMatch(tuple(perm), phase, True)
+
+
+def all_input_permutation_phase_tables(
+    table: TruthTable, include_output_negation: bool = False
+) -> dict[int, InputMatch]:
+    """Map every reachable table's bit pattern to one witnessing match.
+
+    When several permutation/phase combinations produce the same table, the
+    first one found is kept (they are functionally interchangeable).
+    """
+    result: dict[int, InputMatch] = {}
+    for reachable, match in enumerate_permutation_phase(
+        table, include_output_negation=include_output_negation
+    ):
+        result.setdefault(reachable.bits, match)
+    return result
+
+
+def p_canonical(table: TruthTable) -> TruthTable:
+    """Canonical representative under input permutation only."""
+    best = table.bits
+    for perm in permutations(range(table.num_vars)):
+        candidate = table.permute_inputs(perm).bits
+        if candidate < best:
+            best = candidate
+    return TruthTable(table.num_vars, best)
+
+
+def npn_canonical(table: TruthTable) -> TruthTable:
+    """Canonical representative under input negation, permutation and output negation.
+
+    Exhaustive search over ``2 * n! * 2**n`` candidates; intended for
+    functions with at most 6 inputs (library cells and mapping cuts).
+    """
+    n = table.num_vars
+    if n > 6:
+        raise ValueError("npn_canonical is limited to 6 inputs")
+    best: int | None = None
+    for output_negated in (False, True):
+        base = ~table if output_negated else table
+        for phase in range(1 << n):
+            phased = base.apply_phase(phase)
+            for perm in permutations(range(n)):
+                candidate = phased.permute_inputs(perm).bits
+                if best is None or candidate < best:
+                    best = candidate
+    assert best is not None
+    return TruthTable(n, best)
+
+
+def npn_equivalent(a: TruthTable, b: TruthTable) -> bool:
+    """True when two functions are NPN-equivalent."""
+    if a.num_vars != b.num_vars:
+        return False
+    return npn_canonical(a) == npn_canonical(b)

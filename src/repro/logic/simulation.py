@@ -1,0 +1,55 @@
+"""Vectorized multi-pattern simulation helpers.
+
+Verification of the synthesis flow compares the Boolean behaviour of a
+circuit before and after each transformation.  For small circuits an
+exhaustive comparison over all input assignments is possible; for the larger
+benchmark circuits (hundreds of inputs) we fall back to random-pattern
+equivalence checking with 64-bit packed patterns, the standard light-weight
+technique used inside logic synthesis tools.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Sequence
+
+PACK_WIDTH = 64
+PACK_MASK = (1 << PACK_WIDTH) - 1
+
+
+def random_pattern_words(
+    input_names: Sequence[str], num_words: int, seed: int = 2009
+) -> dict[str, list[int]]:
+    """Generate ``num_words`` 64-bit random pattern words per input signal.
+
+    Bit *k* of word *w* of every signal together form one random input
+    assignment, so one call produces ``num_words * 64`` patterns.
+    """
+    rng = random.Random(seed)
+    patterns: dict[str, list[int]] = {}
+    for name in input_names:
+        patterns[name] = [rng.getrandbits(PACK_WIDTH) for _ in range(num_words)]
+    return patterns
+
+
+def exhaustive_pattern_words(input_names: Sequence[str]) -> dict[str, list[int]]:
+    """Packed pattern words enumerating every assignment of up to 16 inputs."""
+    n = len(input_names)
+    if n > 16:
+        raise ValueError("exhaustive simulation is limited to 16 inputs")
+    total = 1 << n
+    num_words = (total + PACK_WIDTH - 1) // PACK_WIDTH
+    patterns = {name: [0] * num_words for name in input_names}
+    for assignment in range(total):
+        word, bit = divmod(assignment, PACK_WIDTH)
+        for i, name in enumerate(input_names):
+            if (assignment >> i) & 1:
+                patterns[name][word] |= 1 << bit
+    return patterns
+
+
+def words_equal(a: Mapping[str, list[int]], b: Mapping[str, list[int]]) -> bool:
+    """Compare two simulation result dictionaries signal by signal."""
+    if set(a) != set(b):
+        return False
+    return all(a[name] == b[name] for name in a)

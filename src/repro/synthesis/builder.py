@@ -1,0 +1,179 @@
+"""Named-signal circuit builder used by the benchmark generators.
+
+:class:`CircuitBuilder` wraps an :class:`~repro.synthesis.aig.Aig` with a
+signal-name namespace and small word-level helpers (buses, ripple adders,
+one-hot decoders, ...), so that the benchmark generators of
+:mod:`repro.bench` read like structural RTL instead of raw AIG surgery.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.synthesis.aig import Aig, AigLiteral, CONST0, CONST1
+
+
+class CircuitBuilder:
+    """Structural circuit construction on top of an AIG."""
+
+    def __init__(self, name: str) -> None:
+        self.aig = Aig(name)
+
+    # -- inputs / outputs -----------------------------------------------------
+
+    def input(self, name: str) -> AigLiteral:
+        """Declare one primary input."""
+        return self.aig.add_pi(name)
+
+    def input_bus(self, prefix: str, width: int) -> list[AigLiteral]:
+        """Declare ``width`` primary inputs named ``prefix[0] .. prefix[width-1]``."""
+        return [self.input(f"{prefix}[{i}]") for i in range(width)]
+
+    def output(self, name: str, literal: AigLiteral) -> None:
+        self.aig.add_po(name, literal)
+
+    def output_bus(self, prefix: str, literals: Sequence[AigLiteral]) -> None:
+        for i, literal in enumerate(literals):
+            self.output(f"{prefix}[{i}]", literal)
+
+    # -- constants and gates ----------------------------------------------------
+
+    @property
+    def zero(self) -> AigLiteral:
+        return CONST0
+
+    @property
+    def one(self) -> AigLiteral:
+        return CONST1
+
+    def not_(self, a: AigLiteral) -> AigLiteral:
+        return self.aig.not_gate(a)
+
+    def and_(self, *literals: AigLiteral) -> AigLiteral:
+        return self.aig.and_many(list(literals))
+
+    def or_(self, *literals: AigLiteral) -> AigLiteral:
+        return self.aig.or_many(list(literals))
+
+    def xor_(self, *literals: AigLiteral) -> AigLiteral:
+        return self.aig.xor_many(list(literals))
+
+    def nand_(self, *literals: AigLiteral) -> AigLiteral:
+        return self.not_(self.and_(*literals))
+
+    def nor_(self, *literals: AigLiteral) -> AigLiteral:
+        return self.not_(self.or_(*literals))
+
+    def xnor_(self, a: AigLiteral, b: AigLiteral) -> AigLiteral:
+        return self.aig.xnor_gate(a, b)
+
+    def mux(self, select: AigLiteral, when_true: AigLiteral, when_false: AigLiteral) -> AigLiteral:
+        return self.aig.mux_gate(select, when_true, when_false)
+
+    # -- word-level helpers -------------------------------------------------------
+
+    def full_adder(
+        self, a: AigLiteral, b: AigLiteral, carry_in: AigLiteral
+    ) -> tuple[AigLiteral, AigLiteral]:
+        """One-bit full adder; returns (sum, carry_out)."""
+        partial = self.xor_(a, b)
+        total = self.xor_(partial, carry_in)
+        carry = self.or_(self.and_(a, b), self.and_(partial, carry_in))
+        return total, carry
+
+    def half_adder(self, a: AigLiteral, b: AigLiteral) -> tuple[AigLiteral, AigLiteral]:
+        return self.xor_(a, b), self.and_(a, b)
+
+    def ripple_adder(
+        self,
+        a: Sequence[AigLiteral],
+        b: Sequence[AigLiteral],
+        carry_in: AigLiteral | None = None,
+    ) -> tuple[list[AigLiteral], AigLiteral]:
+        """Ripple-carry adder over two equal-width buses; returns (sum bus, carry out)."""
+        if len(a) != len(b):
+            raise ValueError("adder operands must have the same width")
+        carry = carry_in if carry_in is not None else CONST0
+        sums: list[AigLiteral] = []
+        for bit_a, bit_b in zip(a, b):
+            bit_sum, carry = self.full_adder(bit_a, bit_b, carry)
+            sums.append(bit_sum)
+        return sums, carry
+
+    def subtractor(
+        self, a: Sequence[AigLiteral], b: Sequence[AigLiteral]
+    ) -> tuple[list[AigLiteral], AigLiteral]:
+        """Two's-complement subtraction ``a - b``; returns (difference, borrow-free carry)."""
+        inverted = [self.not_(bit) for bit in b]
+        return self.ripple_adder(a, inverted, carry_in=CONST1)
+
+    def equal(self, a: Sequence[AigLiteral], b: Sequence[AigLiteral]) -> AigLiteral:
+        if len(a) != len(b):
+            raise ValueError("comparison operands must have the same width")
+        return self.and_(*[self.xnor_(x, y) for x, y in zip(a, b)])
+
+    def parity(self, bits: Sequence[AigLiteral]) -> AigLiteral:
+        return self.xor_(*bits) if bits else CONST0
+
+    def decoder(self, select: Sequence[AigLiteral]) -> list[AigLiteral]:
+        """One-hot decoder of a select bus (2**n outputs)."""
+        outputs: list[AigLiteral] = []
+        for value in range(1 << len(select)):
+            terms = [
+                bit if (value >> i) & 1 else self.not_(bit)
+                for i, bit in enumerate(select)
+            ]
+            outputs.append(self.and_(*terms) if terms else CONST1)
+        return outputs
+
+    def mux_bus(
+        self,
+        select: AigLiteral,
+        when_true: Sequence[AigLiteral],
+        when_false: Sequence[AigLiteral],
+    ) -> list[AigLiteral]:
+        if len(when_true) != len(when_false):
+            raise ValueError("mux operands must have the same width")
+        return [self.mux(select, t, f) for t, f in zip(when_true, when_false)]
+
+    def mux_tree(
+        self, select: Sequence[AigLiteral], inputs: Sequence[AigLiteral]
+    ) -> AigLiteral:
+        """Select one of ``2**len(select)`` single-bit inputs."""
+        if len(inputs) != (1 << len(select)):
+            raise ValueError("mux tree needs 2**len(select) inputs")
+        current = list(inputs)
+        for bit in select:
+            current = [
+                self.mux(bit, current[i + 1], current[i])
+                for i in range(0, len(current), 2)
+            ]
+        return current[0]
+
+    def constant_bus(self, value: int, width: int) -> list[AigLiteral]:
+        return [CONST1 if (value >> i) & 1 else CONST0 for i in range(width)]
+
+    def truth_table_logic(
+        self, inputs: Sequence[AigLiteral], column: Sequence[int]
+    ) -> AigLiteral:
+        """Sum-of-minterms logic for an arbitrary truth-table column.
+
+        Used by the S-box style generators; ``column[i]`` is the output for
+        the input assignment ``i`` (input 0 is the least significant bit).
+        """
+        if len(column) != (1 << len(inputs)):
+            raise ValueError("column length must be 2**len(inputs)")
+        minterms = []
+        for value, bit in enumerate(column):
+            if not bit:
+                continue
+            terms = [
+                inp if (value >> i) & 1 else self.not_(inp)
+                for i, inp in enumerate(inputs)
+            ]
+            minterms.append(self.and_(*terms))
+        return self.or_(*minterms) if minterms else CONST0
+
+    def finish(self) -> Aig:
+        """Return the constructed AIG (cleaned of dangling nodes)."""
+        return self.aig.cleanup()

@@ -1,0 +1,137 @@
+"""K-feasible priority-cut enumeration with cut functions.
+
+A *cut* of an AIG node is a set of nodes (the leaves) such that every path
+from a primary input to the node passes through a leaf.  Cut-based technology
+mapping enumerates, for every node, a small set of K-feasible cuts (at most
+``cut_limit`` cuts with at most ``max_inputs`` leaves each), computes the
+Boolean function of the node in terms of the cut leaves, and matches that
+function against the library.
+
+Cut functions are kept as raw integer truth tables (at most ``2**6`` bits for
+six-input cuts) for speed; the matcher converts them to
+:class:`~repro.logic.truth_table.TruthTable` keys on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.synthesis.aig import Aig, lit_is_complemented, lit_node
+
+#: Default mapping parameters, chosen to cover the six-input cells (F42..F45)
+#: of the library while keeping enumeration tractable in pure Python.
+DEFAULT_MAX_INPUTS = 6
+DEFAULT_CUT_LIMIT = 8
+
+_FULL_MASK = {n: (1 << (1 << n)) - 1 for n in range(0, 7)}
+
+# Truth-table columns of the projection functions x0..x5 over 6 variables,
+# restricted on demand to fewer variables by masking.
+_VAR_COLUMNS_6 = []
+for _i in range(6):
+    _block = 1 << _i
+    _chunk = ((1 << _block) - 1) << _block
+    _period = _block * 2
+    _bits = 0
+    for _start in range(0, 64, _period):
+        _bits |= _chunk << _start
+    _VAR_COLUMNS_6.append(_bits)
+
+
+@dataclass(frozen=True)
+class Cut:
+    """One cut: sorted leaf nodes and the node function over those leaves."""
+
+    leaves: tuple[int, ...]
+    table: int
+
+    @property
+    def size(self) -> int:
+        return len(self.leaves)
+
+
+def _expand_table(table: int, leaves: tuple[int, ...], merged: tuple[int, ...]) -> int:
+    """Re-express ``table`` (over ``leaves``) over the superset ``merged``."""
+    if leaves == merged:
+        return table
+    positions = [merged.index(leaf) for leaf in leaves]
+    size = 1 << len(merged)
+    result = 0
+    for minterm in range(size):
+        old_index = 0
+        for old_pos, new_pos in enumerate(positions):
+            if (minterm >> new_pos) & 1:
+                old_index |= 1 << old_pos
+        if (table >> old_index) & 1:
+            result |= 1 << minterm
+    return result
+
+
+def _merge_leaves(a: tuple[int, ...], b: tuple[int, ...], limit: int) -> tuple[int, ...] | None:
+    """Sorted union of two leaf sets, or ``None`` if it exceeds ``limit``."""
+    merged = sorted(set(a) | set(b))
+    if len(merged) > limit:
+        return None
+    return tuple(merged)
+
+
+def enumerate_cuts(
+    aig: Aig,
+    max_inputs: int = DEFAULT_MAX_INPUTS,
+    cut_limit: int = DEFAULT_CUT_LIMIT,
+) -> dict[int, list[Cut]]:
+    """Enumerate priority cuts (with functions) for every node of the AIG.
+
+    Returns a dictionary mapping node index to its cut list; the first cut of
+    every AND node is always available (the cut formed by its two fanins), and
+    the trivial cut ``{node}`` is included for use as a leaf of larger cuts
+    but never matched on its own.
+    """
+    if max_inputs < 2 or max_inputs > 6:
+        raise ValueError("max_inputs must be between 2 and 6")
+    if cut_limit < 1:
+        raise ValueError("cut_limit must be at least 1")
+
+    cuts: dict[int, list[Cut]] = {}
+    # Constant node and primary inputs only have their trivial cut.
+    cuts[0] = [Cut((0,), 0b10)]  # unused in practice
+    for pi in aig.pi_nodes():
+        cuts[pi] = [Cut((pi,), 0b10)]
+
+    fanout = aig.fanout_counts()
+
+    for node in aig.and_nodes():
+        f0, f1 = aig.fanins(node)
+        node0, node1 = lit_node(f0), lit_node(f1)
+        comp0, comp1 = lit_is_complemented(f0), lit_is_complemented(f1)
+        candidates: dict[tuple[int, ...], int] = {}
+
+        for cut0 in cuts[node0]:
+            for cut1 in cuts[node1]:
+                merged = _merge_leaves(cut0.leaves, cut1.leaves, max_inputs)
+                if merged is None:
+                    continue
+                full = _FULL_MASK[len(merged)]
+                t0 = _expand_table(cut0.table, cut0.leaves, merged)
+                t1 = _expand_table(cut1.table, cut1.leaves, merged)
+                if comp0:
+                    t0 = ~t0 & full
+                if comp1:
+                    t1 = ~t1 & full
+                table = t0 & t1
+                existing = candidates.get(merged)
+                if existing is None:
+                    candidates[merged] = table
+                # Identical leaf sets always produce the same function, so no
+                # merge policy is needed beyond first-wins.
+
+        ranked = sorted(
+            candidates.items(),
+            key=lambda item: (len(item[0]), sum(fanout[l] == 1 for l in item[0])),
+        )
+        node_cuts = [Cut(leaves, table) for leaves, table in ranked[:cut_limit]]
+        # The trivial cut participates in fanout cut merging.
+        node_cuts.append(Cut((node,), 0b10))
+        cuts[node] = node_cuts
+
+    return cuts

@@ -1,0 +1,187 @@
+"""Boolean matching of cut functions against a gate library.
+
+For every library cell the matcher pre-computes every truth table reachable
+from the cell's Table-1 function by permuting inputs, complementing inputs and
+complementing the output, and stores them in a dictionary keyed by
+``(arity, table bits)``.  Matching a cut is then a single dictionary lookup.
+
+The input/output phase freedom models the paper's statement that the mapping
+tool is aware of the extra gates obtained by swapping the signal polarities at
+the transmission gates, and the fact that every cell carries an output
+inverter providing both output polarities (Sec. 3.1 and 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+
+import numpy as np
+
+from repro.core.cell import LibraryCell
+from repro.core.library import GateLibrary
+from repro.logic.npn import InputMatch
+
+
+@dataclass(frozen=True)
+class CellMatch:
+    """A library cell together with the pin assignment realizing a cut function."""
+
+    cell: LibraryCell
+    match: InputMatch
+
+    @property
+    def area(self) -> float:
+        return self.cell.area
+
+    @property
+    def delay(self) -> float:
+        return self.cell.delay.fo4_average
+
+
+class LibraryMatcher:
+    """Pre-computed permutation/phase match tables for one library."""
+
+    def __init__(self, library: GateLibrary, allow_output_negation: bool = True) -> None:
+        self.library = library
+        self._by_area: dict[tuple[int, int], CellMatch] = {}
+        self._by_delay: dict[tuple[int, int], CellMatch] = {}
+        self._build(allow_output_negation)
+
+    def _build(self, allow_output_negation: bool) -> None:
+        for cell in self.library.cells:
+            tables = _fast_permutation_phase_tables(
+                cell.function.bits, cell.arity, allow_output_negation
+            )
+            for bits, match in tables.items():
+                key = (cell.arity, bits)
+                candidate = CellMatch(cell, match)
+                best_area = self._by_area.get(key)
+                if best_area is None or candidate.area < best_area.area - 1e-12 or (
+                    abs(candidate.area - best_area.area) < 1e-12
+                    and candidate.delay < best_area.delay
+                ):
+                    self._by_area[key] = candidate
+                best_delay = self._by_delay.get(key)
+                if best_delay is None or candidate.delay < best_delay.delay - 1e-12 or (
+                    abs(candidate.delay - best_delay.delay) < 1e-12
+                    and candidate.area < best_delay.area
+                ):
+                    self._by_delay[key] = candidate
+
+    def __len__(self) -> int:
+        return len(self._by_area)
+
+    def match(
+        self, num_leaves: int, table_bits: int, prefer: str = "delay"
+    ) -> CellMatch | None:
+        """Find the best cell realizing the cut function, or ``None``.
+
+        Functions that do not depend on all cut leaves are looked up on their
+        true support, so a 4-leaf cut whose function only uses 3 leaves can
+        still match a 3-input cell (the mapper handles the leaf projection).
+        """
+        table = self._by_delay if prefer == "delay" else self._by_area
+        return table.get((num_leaves, table_bits))
+
+    def match_reduced(
+        self, leaves: tuple[int, ...], table_bits: int, prefer: str = "delay"
+    ) -> tuple[CellMatch, tuple[int, ...], int] | None:
+        """Match a cut after projecting its function onto its true support.
+
+        Returns the match, the reduced leaf tuple (in the order seen by the
+        matched table) and the reduced table bits, or ``None`` when no cell
+        matches.
+        """
+        support: list[int] = []
+        num_leaves = len(leaves)
+        for position in range(num_leaves):
+            if _depends_on(table_bits, num_leaves, position):
+                support.append(position)
+        if not support:
+            return None
+        if len(support) == num_leaves:
+            found = self.match(num_leaves, table_bits, prefer)
+            if found is None:
+                return None
+            return found, leaves, table_bits
+        reduced_bits = _project(table_bits, num_leaves, support)
+        found = self.match(len(support), reduced_bits, prefer)
+        if found is None:
+            return None
+        return found, tuple(leaves[p] for p in support), reduced_bits
+
+
+def _fast_permutation_phase_tables(
+    bits: int, num_vars: int, include_output_negation: bool
+) -> dict[int, InputMatch]:
+    """Vectorized equivalent of :func:`repro.logic.npn.all_input_permutation_phase_tables`.
+
+    Enumerates every table reachable by permuting and complementing inputs
+    (and optionally complementing the output) using numpy gathers, which keeps
+    matcher construction fast even for the six-input cells (46k variants
+    each).  The returned matches carry the same semantics as the reference
+    implementation (verified by the matcher unit tests).
+    """
+    size = 1 << num_vars
+    column = np.fromiter(((bits >> i) & 1 for i in range(size)), dtype=np.uint8, count=size)
+    indices = np.arange(size, dtype=np.int64)
+    phases = np.arange(size, dtype=np.int64)
+    result: dict[int, InputMatch] = {}
+
+    for perm in permutations(range(num_vars)):
+        sigma = np.zeros(size, dtype=np.int64)
+        for new_position, old_position in enumerate(perm):
+            sigma |= ((indices >> new_position) & 1) << old_position
+        gathered = column[np.bitwise_xor.outer(phases, sigma)]
+        packed = np.packbits(gathered, axis=1, bitorder="little")
+        for phase in range(size):
+            table_bits = int.from_bytes(packed[phase].tobytes(), "little")
+            result.setdefault(table_bits, InputMatch(tuple(perm), phase, False))
+            if include_output_negation:
+                negated = table_bits ^ ((1 << size) - 1)
+                result.setdefault(negated, InputMatch(tuple(perm), phase, True))
+    return result
+
+
+_MATCHER_CACHE: dict[tuple[str, bool], "LibraryMatcher"] = {}
+
+
+def matcher_for(library: GateLibrary, allow_output_negation: bool = True) -> "LibraryMatcher":
+    """Build (and cache) the matcher of a library.
+
+    Matcher construction enumerates hundreds of thousands of permutation and
+    phase variants, so the experiment harness reuses one matcher per library
+    across all benchmarks.
+    """
+    key = (library.name, allow_output_negation)
+    cached = _MATCHER_CACHE.get(key)
+    if cached is None or cached.library is not library:
+        cached = LibraryMatcher(library, allow_output_negation=allow_output_negation)
+        _MATCHER_CACHE[key] = cached
+    return cached
+
+
+def _depends_on(table: int, num_vars: int, position: int) -> bool:
+    """Whether a raw truth table depends on the variable at ``position``."""
+    block = 1 << position
+    low_mask = 0
+    chunk = (1 << block) - 1
+    for start in range(0, 1 << num_vars, block * 2):
+        low_mask |= chunk << start
+    cofactor0 = table & low_mask
+    cofactor1 = (table >> block) & low_mask
+    return cofactor0 != cofactor1
+
+
+def _project(table: int, num_vars: int, support: list[int]) -> int:
+    """Project a truth table onto a subset of its variables."""
+    result = 0
+    for minterm in range(1 << len(support)):
+        old_index = 0
+        for new_pos, old_pos in enumerate(support):
+            if (minterm >> new_pos) & 1:
+                old_index |= 1 << old_pos
+        if (table >> old_index) & 1:
+            result |= 1 << minterm
+    return result

@@ -1,0 +1,245 @@
+"""Technology-independent AIG optimization (the ``resyn2rs`` stand-in).
+
+The paper synthesizes every benchmark with ABC's ``resyn2rs`` script before
+technology mapping.  That script interleaves balancing, rewriting, refactoring
+and resubstitution.  We provide a compact equivalent built from three passes:
+
+* :func:`balance` -- collapses multi-input AND trees and rebuilds them as
+  depth-balanced binary trees (ABC's ``balance``);
+* :func:`rewrite` -- cut-based local rewriting: for every node a small cut is
+  extracted, its function computed, and the cone replaced by a cheaper
+  implementation synthesised from the function's irredundant sum of products
+  via a simple factoring heuristic (covers ABC's ``rewrite``/``refactor``
+  behaviour for the cone sizes that matter here);
+* :func:`optimize` -- the driver that interleaves the two until the node count
+  stops improving, mirroring the iterative structure of ``resyn2rs``.
+
+Because every transformation rebuilds the graph through the structurally
+hashing constructors, common subexpressions are shared automatically, which
+is where most of the practical reduction comes from.
+"""
+
+from __future__ import annotations
+
+from repro.synthesis.aig import (
+    Aig,
+    AigLiteral,
+    CONST0,
+    CONST1,
+    lit_complement,
+    lit_is_complemented,
+    lit_node,
+)
+from repro.synthesis.cuts import enumerate_cuts
+
+
+def balance(aig: Aig) -> Aig:
+    """Depth-balance the AND trees of an AIG.
+
+    For every node the maximal single-fanout AND tree rooted at it is
+    collapsed into its leaf literals and rebuilt as a balanced binary tree,
+    sorting the leaves by their current depth so that late-arriving signals
+    traverse fewer levels (same heuristic as ABC's ``balance``).
+    """
+    fanout = aig.fanout_counts()
+    new = Aig(aig.name)
+    mapping: dict[int, AigLiteral] = {0: CONST0}
+    for name in aig.pi_names:
+        mapping[lit_node(aig.pi_literal(name))] = new.add_pi(name)
+
+    def translate(literal: AigLiteral) -> AigLiteral:
+        return mapping[lit_node(literal)] ^ (literal & 1)
+
+    def collect_and_leaves(literal: AigLiteral, root: bool) -> list[AigLiteral]:
+        """Leaves of the maximal AND tree rooted at ``literal``."""
+        node = lit_node(literal)
+        if (
+            lit_is_complemented(literal)
+            or not aig.is_and(node)
+            or (not root and fanout[node] > 1)
+        ):
+            return [literal]
+        f0, f1 = aig.fanins(node)
+        return collect_and_leaves(f0, False) + collect_and_leaves(f1, False)
+
+    def rebuild(node: int) -> AigLiteral:
+        if node in mapping:
+            return mapping[node]
+        leaves = collect_and_leaves(node << 1, True)
+        translated = []
+        for leaf in leaves:
+            leaf_node = lit_node(leaf)
+            if leaf_node not in mapping:
+                rebuild(leaf_node)
+            translated.append(translate(leaf))
+        # Pair shallow literals first so the deepest signal sees the fewest levels.
+        ordered = sorted(translated, key=new.literal_level)
+        while len(ordered) > 1:
+            a = ordered.pop(0)
+            b = ordered.pop(0)
+            combined = new.and_gate(a, b)
+            # Insert keeping the depth order.
+            level = new.literal_level(combined)
+            index = 0
+            while index < len(ordered) and new.literal_level(ordered[index]) <= level:
+                index += 1
+            ordered.insert(index, combined)
+        result = ordered[0] if ordered else CONST1
+        mapping[node] = result
+        return result
+
+    for node in aig.and_nodes():
+        rebuild(node)
+    for name, literal in zip(aig.po_names, aig.po_literals):
+        node = lit_node(literal)
+        if node not in mapping:
+            rebuild(node)
+        new.add_po(name, translate(literal))
+    return new.cleanup()
+
+
+def _isop(table: int, num_vars: int) -> list[tuple[int, int]]:
+    """Irredundant sum of products of a truth table (cube list).
+
+    Each cube is a pair ``(care_mask, value_mask)``: variable *i* appears
+    positively when bit *i* is set in both masks, negatively when set in
+    ``care_mask`` only.  Uses a simple expand-greedy cover; optimality is not
+    required, only irredundancy.
+    """
+    size = 1 << num_vars
+    full = (1 << size) - 1
+    table &= full
+    remaining = table
+    cubes: list[tuple[int, int]] = []
+    while remaining:
+        minterm = (remaining & -remaining).bit_length() - 1
+        care = (1 << num_vars) - 1
+        value = minterm
+        # Try to drop every variable from the cube while staying inside the on-set.
+        for var in range(num_vars):
+            trial_care = care & ~(1 << var)
+            if _cube_inside(table, num_vars, trial_care, value):
+                care = trial_care
+        value &= care
+        cubes.append((care, value))
+        remaining &= ~_cube_minterms(num_vars, care, value)
+    # Irredundancy post-pass: drop any cube whose minterms are already covered
+    # by the union of the other kept cubes (greedy expansion can overlap).
+    coverage = [_cube_minterms(num_vars, care, value) for care, value in cubes]
+    kept = list(range(len(cubes)))
+    for index in range(len(cubes)):
+        others = 0
+        for j in kept:
+            if j != index:
+                others |= coverage[j]
+        if index in kept and not (coverage[index] & ~others):
+            kept.remove(index)
+    return [cubes[i] for i in kept]
+
+
+def _cube_minterms(num_vars: int, care: int, value: int) -> int:
+    bits = 0
+    for minterm in range(1 << num_vars):
+        if (minterm & care) == value:
+            bits |= 1 << minterm
+    return bits
+
+
+def _cube_inside(table: int, num_vars: int, care: int, value: int) -> bool:
+    value &= care
+    for minterm in range(1 << num_vars):
+        if (minterm & care) == value and not ((table >> minterm) & 1):
+            return False
+    return True
+
+
+def _synthesize_sop(
+    aig: Aig, leaves: list[AigLiteral], cubes: list[tuple[int, int]], num_vars: int
+) -> AigLiteral:
+    """Build an AND-OR implementation of a cube cover."""
+    terms: list[AigLiteral] = []
+    for care, value in cubes:
+        factors: list[AigLiteral] = []
+        for var in range(num_vars):
+            if not (care >> var) & 1:
+                continue
+            literal = leaves[var]
+            if not (value >> var) & 1:
+                literal = lit_complement(literal)
+            factors.append(literal)
+        terms.append(aig.and_many(factors) if factors else CONST1)
+    return aig.or_many(terms) if terms else CONST0
+
+
+def rewrite(aig: Aig, max_inputs: int = 4) -> Aig:
+    """Cut-based rewriting: re-synthesize small cones from their functions.
+
+    For every AND node the best small cut is taken, the node function over the
+    cut leaves is computed, and an AND-OR implementation of its irredundant
+    cover (or of the complement, whichever is smaller) is built in a fresh
+    AIG.  Structural hashing shares the rebuilt logic; the pass never
+    increases the size of an individual cone beyond its SOP cost but may keep
+    the existing structure when that is cheaper.
+    """
+    cuts = enumerate_cuts(aig, max_inputs=max_inputs, cut_limit=4)
+    new = Aig(aig.name)
+    mapping: dict[int, AigLiteral] = {0: CONST0}
+    for name in aig.pi_names:
+        mapping[lit_node(aig.pi_literal(name))] = new.add_pi(name)
+
+    def translate(literal: AigLiteral) -> AigLiteral:
+        return mapping[lit_node(literal)] ^ (literal & 1)
+
+    for node in aig.and_nodes():
+        best_literal: AigLiteral | None = None
+        best_cost: int | None = None
+        for cut in cuts[node]:
+            if cut.size == 1:
+                continue
+            if any(leaf not in mapping for leaf in cut.leaves):
+                continue
+            leaves = [mapping[leaf] for leaf in cut.leaves]
+            num_vars = cut.size
+            table = cut.table
+            size_before = new.num_ands
+            positive = _isop(table, num_vars)
+            negative = _isop(~table & ((1 << (1 << num_vars)) - 1), num_vars)
+            if len(negative) < len(positive):
+                literal = lit_complement(
+                    _synthesize_sop(new, leaves, negative, num_vars)
+                )
+            else:
+                literal = _synthesize_sop(new, leaves, positive, num_vars)
+            cost = new.num_ands - size_before
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_literal = literal
+        if best_literal is None:
+            f0, f1 = aig.fanins(node)
+            best_literal = new.and_gate(translate(f0), translate(f1))
+        mapping[node] = best_literal
+
+    for name, literal in zip(aig.po_names, aig.po_literals):
+        new.add_po(name, translate(literal))
+    return new.cleanup()
+
+
+def optimize(aig: Aig, max_rounds: int = 3) -> Aig:
+    """The ``resyn2rs`` stand-in: interleave balancing and rewriting to a fixpoint.
+
+    The best (smallest, then shallowest) intermediate result is kept, so the
+    returned AIG is never larger or deeper than the balanced input even when a
+    rewriting round locally increases the node count.
+    """
+    current = balance(aig)
+    best = current
+    for _ in range(max_rounds):
+        before = current.num_ands
+        current = balance(rewrite(current))
+        if (current.num_ands, current.depth()) < (best.num_ands, best.depth()):
+            best = current
+        if current.num_ands >= before:
+            break
+    if (aig.num_ands, aig.depth()) < (best.num_ands, best.depth()):
+        return aig
+    return best

@@ -1,0 +1,241 @@
+"""Functional tests for the benchmark circuit generators."""
+
+import random
+
+import pytest
+
+from repro.bench.generators import (
+    alu_control_circuit,
+    array_multiplier_circuit,
+    dedicated_alu_circuit,
+    des_round_circuit,
+    hamming_circuit,
+    random_control_logic_circuit,
+    ripple_adder_circuit,
+    symmetric_logic_circuit,
+)
+
+
+def _bus_value(outputs, prefix, width):
+    return sum((1 << i) for i in range(width) if outputs[f"{prefix}[{i}]"])
+
+
+def _bus_env(prefix, value, width):
+    return {f"{prefix}[{i}]": bool((value >> i) & 1) for i in range(width)}
+
+
+class TestAdders:
+    def test_add16_io_counts_match_paper(self):
+        aig = ripple_adder_circuit(16)
+        assert aig.num_pis == 33  # 2 * 16 + carry-in
+        assert aig.num_pos == 17  # 16 sum bits + carry-out
+
+    @pytest.mark.parametrize("width", [4, 8])
+    def test_adder_adds_exhaustive_corners(self, width):
+        aig = ripple_adder_circuit(width)
+        rng = random.Random(1)
+        cases = [(0, 0, 0), ((1 << width) - 1, (1 << width) - 1, 1)] + [
+            (rng.randrange(1 << width), rng.randrange(1 << width), rng.randint(0, 1))
+            for _ in range(25)
+        ]
+        for a, b, cin in cases:
+            env = {**_bus_env("a", a, width), **_bus_env("b", b, width), "cin": bool(cin)}
+            out = aig.evaluate(env)
+            value = _bus_value(out, "sum", width) + ((1 << width) if out["cout"] else 0)
+            assert value == a + b + cin
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            ripple_adder_circuit(0)
+
+
+class TestMultiplier:
+    def test_small_multiplier_is_exact(self):
+        width = 5
+        aig = array_multiplier_circuit(width)
+        rng = random.Random(2)
+        cases = [(0, 0), ((1 << width) - 1, (1 << width) - 1)] + [
+            (rng.randrange(1 << width), rng.randrange(1 << width)) for _ in range(30)
+        ]
+        for a, b in cases:
+            env = {**_bus_env("a", a, width), **_bus_env("b", b, width)}
+            out = aig.evaluate(env)
+            assert _bus_value(out, "p", 2 * width) == a * b
+
+    def test_c6288_class_size(self):
+        aig = array_multiplier_circuit(12)
+        # An N x N array multiplier needs on the order of N^2 full adders;
+        # make sure the generated instance is in the thousand-gate class of
+        # C6288 rather than a toy.
+        assert aig.num_ands > 1000
+        assert aig.num_pos == 24
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            array_multiplier_circuit(1)
+
+
+class TestHamming:
+    def test_no_error_gives_zero_syndrome_and_clean_data(self):
+        aig = hamming_circuit(data_width=8)
+        code_length = aig.num_pis
+        env = {f"r[{i}]": False for i in range(code_length)}
+        out = aig.evaluate(env)
+        assert not out["error"]
+        assert all(not out[f"d[{i}]"] for i in range(8))
+
+    def test_single_error_is_corrected(self):
+        data_width = 8
+        aig = hamming_circuit(data_width=data_width)
+        code_length = aig.num_pis
+
+        # Build a valid code word for an arbitrary data pattern by first
+        # extracting the parity equations from the circuit itself (syndrome of
+        # a word with correct parity bits is zero); easier: start from the
+        # all-zero code word (valid) and flip exactly one data position.
+        data_positions = [p for p in range(1, code_length + 1) if (p & (p - 1)) != 0]
+        flip_position = data_positions[3]
+        env = {f"r[{i}]": (i == flip_position - 1) for i in range(code_length)}
+        out = aig.evaluate(env)
+        assert out["error"]
+        # The corrected data bus must equal the original all-zero data word.
+        assert all(not out[f"d[{i}]"] for i in range(data_width))
+
+    def test_syndrome_only_variant(self):
+        aig = hamming_circuit(data_width=16, corrected_output=False)
+        assert not any(name.startswith("d[") for name in aig.po_names)
+        assert "error" in aig.po_names
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hamming_circuit(data_width=2)
+
+
+class TestAluAndControl:
+    def test_alu_addition_and_flags(self):
+        width = 8
+        aig = alu_control_circuit(data_width=width, control_inputs=6, control_outputs=8, seed=7)
+        a, b = 25, 17
+        env = {
+            **_bus_env("a", a, width),
+            **_bus_env("b", b, width),
+            **_bus_env("c", 0, width),
+            **_bus_env("op", 0, 3),            # opcode 0 = add
+            **{f"ctl[{i}]": False for i in range(6)},
+        }
+        out = aig.evaluate(env)
+        assert _bus_value(out, "result", width) == (a + b) % (1 << width)
+        assert out["zero"] is False
+        assert out["parity"] == (bin((a + b) % (1 << width)).count("1") % 2 == 1)
+
+    def test_alu_subtract_and_xor_ops(self):
+        width = 8
+        aig = alu_control_circuit(data_width=width, control_inputs=6, control_outputs=8, seed=7)
+        a, b = 200, 13
+        base = {
+            **_bus_env("a", a, width),
+            **_bus_env("b", b, width),
+            **_bus_env("c", 0, width),
+            **{f"ctl[{i}]": False for i in range(6)},
+        }
+        sub = aig.evaluate({**base, **_bus_env("op", 1, 3)})
+        assert _bus_value(sub, "result", width) == (a - b) % (1 << width)
+        xor = aig.evaluate({**base, **_bus_env("op", 4, 3)})
+        assert _bus_value(xor, "result", width) == a ^ b
+
+    def test_operand_mux_uses_c_when_selected(self):
+        width = 6
+        aig = alu_control_circuit(data_width=width, control_inputs=4, control_outputs=4, seed=3)
+        a, b, c = 10, 21, 33 % (1 << width)
+        env = {
+            **_bus_env("a", a, width),
+            **_bus_env("b", b, width),
+            **_bus_env("c", c, width),
+            **_bus_env("op", 0, 3),
+            **{f"ctl[{i}]": (i == 0) for i in range(4)},
+        }
+        out = aig.evaluate(env)
+        assert _bus_value(out, "result", width) == (a + c) % (1 << width)
+
+    def test_dedicated_alu_modes(self):
+        width = 8
+        aig = dedicated_alu_circuit(data_width=width, seed=5)
+        a, b = 90, 60
+        base = {
+            **_bus_env("a", a, width),
+            **_bus_env("b", b, width),
+            **{f"en[{i}]": True for i in range(width // 2)},
+        }
+        add = aig.evaluate({**base, **_bus_env("mode", 0, 4)})
+        assert _bus_value(add, "y", width) == (a + b) % (1 << width)
+        sub = aig.evaluate({**base, **_bus_env("mode", 1, 4)})
+        assert _bus_value(sub, "y", width) == (a - b) % (1 << width)
+        xor = aig.evaluate({**base, **_bus_env("mode", 2, 4)})
+        assert _bus_value(xor, "y", width) == a ^ b
+
+    def test_control_logic_is_deterministic(self):
+        first = alu_control_circuit(data_width=8, seed=99)
+        second = alu_control_circuit(data_width=8, seed=99)
+        assert first.num_ands == second.num_ands
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            alu_control_circuit(data_width=1)
+
+
+class TestDesAndMisc:
+    def test_des_round_structure(self):
+        aig = des_round_circuit(block_width=16, rounds=1, seed=4)
+        assert aig.num_pos == 16
+        # one key input bus of 12 bits (expanded half = 12) plus 16 plaintext bits
+        assert aig.num_pis == 16 + 12
+
+    def test_des_feistel_swap_property(self):
+        # With an all-zero key and all-zero right half, the new right half is
+        # left XOR f(0); evaluating twice with different left halves must
+        # differ exactly in the positions where the left halves differ.
+        aig = des_round_circuit(block_width=16, rounds=1, seed=4)
+        half = 8
+        key_bits = {name: False for name in aig.pi_names if name.startswith("k0")}
+
+        def run(left_value):
+            env = {f"pt[{i}]": bool((left_value >> i) & 1) for i in range(half)}
+            env.update({f"pt[{i + half}]": False for i in range(half)})
+            env.update(key_bits)
+            return aig.evaluate(env)
+
+        out_a = run(0b10110010)
+        out_b = run(0b10110011)
+        diff = [
+            i for i in range(half)
+            if out_a[f"ct[{i + half}]"] != out_b[f"ct[{i + half}]"]
+        ]
+        assert diff == [0]
+
+    def test_des_determinism_and_validation(self):
+        assert des_round_circuit(16, 1, seed=4).num_ands == des_round_circuit(16, 1, seed=4).num_ands
+        with pytest.raises(ValueError):
+            des_round_circuit(block_width=10)
+        with pytest.raises(ValueError):
+            des_round_circuit(block_width=16, rounds=0)
+
+    def test_random_control_logic_shape(self):
+        aig = random_control_logic_circuit(num_inputs=24, num_outputs=12, levels=4, seed=1)
+        assert aig.num_pis == 24
+        assert aig.num_pos == 12
+        assert aig.num_ands > 50
+        again = random_control_logic_circuit(num_inputs=24, num_outputs=12, levels=4, seed=1)
+        assert again.num_ands == aig.num_ands
+
+    def test_symmetric_circuit_is_symmetric_and_correct(self):
+        aig = symmetric_logic_circuit(num_inputs=8, thresholds=(2, 5))
+        for value in range(256):
+            env = {f"x[{i}]": bool((value >> i) & 1) for i in range(8)}
+            expected = 2 <= bin(value).count("1") < 5
+            assert aig.evaluate(env)["y"] == expected
+
+    def test_validation_misc(self):
+        with pytest.raises(ValueError):
+            random_control_logic_circuit(num_inputs=2)
+        with pytest.raises(ValueError):
+            symmetric_logic_circuit(num_inputs=2)

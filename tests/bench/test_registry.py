@@ -1,0 +1,57 @@
+"""Tests for the Table-3 benchmark registry."""
+
+import pytest
+
+from repro.bench import BENCHMARKS, benchmark_by_name, build_benchmark
+from repro.core.paper_data import PAPER_TABLE3
+
+
+class TestRegistryShape:
+    def test_fifteen_benchmarks_in_paper_order(self):
+        assert len(BENCHMARKS) == 15
+        assert [case.name for case in BENCHMARKS] == [row.name for row in PAPER_TABLE3]
+
+    def test_function_classes_match_table3(self):
+        for case in BENCHMARKS:
+            paper = next(row for row in PAPER_TABLE3 if row.name == case.name)
+            assert case.function == paper.function
+
+    def test_paper_io_recorded(self):
+        case = benchmark_by_name("C6288")
+        assert (case.paper_inputs, case.paper_outputs) == (32, 32)
+
+    def test_adders_are_exact(self):
+        for name in ("add-16", "add-32", "add-64"):
+            assert benchmark_by_name(name).exact
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            benchmark_by_name("c17")
+
+
+class TestBuiltCircuits:
+    def test_adder_io_matches_paper_exactly(self):
+        for name, width in (("add-16", 16), ("add-32", 32), ("add-64", 64)):
+            aig = build_benchmark(name)
+            paper = next(row for row in PAPER_TABLE3 if row.name == name)
+            assert aig.num_pis == paper.inputs
+            assert aig.num_pos == paper.outputs
+            assert aig.name == name
+
+    @pytest.mark.parametrize("name", [case.name for case in BENCHMARKS])
+    def test_every_benchmark_builds_nontrivial_logic(self, name):
+        aig = build_benchmark(name)
+        assert aig.num_ands > 50, f"{name} is too small to be meaningful"
+        assert aig.num_pis > 0 and aig.num_pos > 0
+        assert aig.depth() > 2
+
+    def test_xor_rich_flags(self):
+        assert benchmark_by_name("C6288").xor_rich
+        assert benchmark_by_name("add-64").xor_rich
+        assert not benchmark_by_name("i10").xor_rich
+
+    def test_builds_are_deterministic(self):
+        first = build_benchmark("i18")
+        second = build_benchmark("i18")
+        assert first.num_ands == second.num_ands
+        assert first.depth() == second.depth()

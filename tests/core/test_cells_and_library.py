@@ -1,0 +1,184 @@
+"""Tests for cell construction, the gate libraries and Table-2 characterization."""
+
+import pytest
+
+from repro.circuits.netlist import CellStyle
+from repro.core import (
+    LogicFamily,
+    build_family_cells,
+    build_library,
+    characterize_cell,
+    characterize_family,
+    function_by_id,
+)
+from repro.core.cell import CellConstructionError, build_cell
+from repro.core.paper_data import PAPER_TABLE2, PAPER_TABLE2_AVERAGES
+
+
+@pytest.fixture(scope="module")
+def tg_static_library():
+    return build_library(LogicFamily.TG_STATIC)
+
+
+@pytest.fixture(scope="module")
+def cmos_library():
+    return build_library(LogicFamily.CMOS)
+
+
+class TestCellConstruction:
+    def test_build_single_cell(self):
+        cell = build_cell(function_by_id("F05"), CellStyle.TRANSMISSION_GATE_STATIC)
+        assert cell.function_id == "F05"
+        assert cell.transistor_count == 6
+        assert cell.area == pytest.approx(7.0)
+        assert cell.full_swing
+        assert cell.output_function == ~cell.function
+
+    def test_cmos_cannot_build_xor_cell(self):
+        with pytest.raises(CellConstructionError):
+            build_cell(function_by_id("F01"), CellStyle.CMOS_STATIC)
+
+    def test_cell_delay_in_picoseconds(self):
+        cell = build_cell(function_by_id("F00"), CellStyle.TRANSMISSION_GATE_STATIC)
+        assert cell.delay_average_ps() == pytest.approx(cell.delay.fo4_average * 0.59)
+        assert cell.delay_worst_ps() >= cell.delay_average_ps()
+
+    def test_pass_static_cells_not_full_swing(self):
+        cell = build_cell(function_by_id("F01"), CellStyle.PASS_TRANSISTOR_STATIC)
+        assert not cell.full_swing
+
+
+class TestLibraries:
+    def test_tg_static_library_has_46_cells(self, tg_static_library):
+        assert len(tg_static_library) == 46
+
+    def test_cmos_library_has_7_cells(self, cmos_library):
+        assert len(cmos_library) == 7
+
+    def test_expressive_power_ratio(self, tg_static_library, cmos_library):
+        # The central expressive-power claim: 46 vs 7 with the same topology.
+        assert len(tg_static_library) / len(cmos_library) > 6
+
+    def test_lookup_and_inverter(self, tg_static_library):
+        assert tg_static_library.cell("F13").function_id == "F13"
+        assert tg_static_library.inverter().function_id == "F00"
+        with pytest.raises(KeyError):
+            tg_static_library.cell("F99")
+
+    def test_family_restriction(self):
+        cells = build_family_cells(LogicFamily.TG_STATIC, function_ids=("F00", "F01"))
+        assert [c.function_id for c in cells] == ["F00", "F01"]
+        with pytest.raises(KeyError):
+            build_family_cells(LogicFamily.CMOS, function_ids=("F01",))
+
+    def test_max_arity(self, tg_static_library, cmos_library):
+        assert tg_static_library.max_arity == 6
+        assert cmos_library.max_arity == 3
+
+    def test_genlib_export(self, tg_static_library):
+        text = tg_static_library.to_genlib()
+        assert text.count("GATE ") == 46
+        assert "F05_tg_static" in text
+        assert "PIN " in text
+
+    def test_all_tg_static_cells_full_swing(self, tg_static_library):
+        assert all(cell.full_swing for cell in tg_static_library)
+
+    def test_library_caching(self):
+        assert build_library(LogicFamily.TG_STATIC) is build_library(LogicFamily.TG_STATIC)
+
+
+class TestTable2Agreement:
+    """Transistor counts and areas must match the published Table 2 exactly
+    for the static transmission-gate family and the CMOS family; FO4 values
+    must be close (the paper's RC model and ours differ in worst-case state
+    enumeration, see DESIGN.md)."""
+
+    def test_tg_static_transistor_counts_match_paper(self, tg_static_library):
+        mismatches = []
+        for cell in tg_static_library:
+            paper = PAPER_TABLE2[cell.function_id]["tg_static"]
+            if cell.transistor_count != paper.transistors:
+                mismatches.append((cell.function_id, cell.transistor_count, paper.transistors))
+        # F34 is reported with 14 transistors in the paper (a typo: its form
+        # ((A^D)+(B^D))(C^E) needs 12 like F35); allow that single exception.
+        assert all(fid == "F34" for fid, _, _ in mismatches), mismatches
+
+    def test_tg_static_areas_match_paper(self, tg_static_library):
+        # F34 is a paper typo (see transistor-count test).  F44 and F45 are
+        # reported as 16.0 / 14.7 although their structural twins with shared
+        # control variables (F26/F39 and F29) -- identical topologies -- are
+        # reported with the swapped values; the sizing rules give the twin
+        # values.  All three discrepancies are documented in EXPERIMENTS.md.
+        exceptions = {"F34", "F44", "F45"}
+        for cell in tg_static_library:
+            paper = PAPER_TABLE2[cell.function_id]["tg_static"]
+            if cell.function_id in exceptions:
+                continue
+            assert cell.area == pytest.approx(paper.area, abs=0.06), cell.function_id
+
+    def test_cmos_areas_match_paper(self, cmos_library):
+        for cell in cmos_library:
+            paper = PAPER_TABLE2[cell.function_id]["cmos"]
+            if cell.function_id == "F00":
+                # Paper normalizes the CMOS inverter to area 2; our physical
+                # W/L sum is 3 (Wp=2, Wn=1).  Documented in EXPERIMENTS.md.
+                assert cell.area == pytest.approx(3.0)
+                continue
+            assert cell.area == pytest.approx(paper.area), cell.function_id
+
+    def test_tg_static_average_fo4_close_to_paper(self, tg_static_library):
+        _, summary = characterize_family(tg_static_library)
+        paper_avg = PAPER_TABLE2_AVERAGES["tg_static"]
+        assert summary.average_fo4 == pytest.approx(paper_avg.fo4_average, rel=0.2)
+        assert summary.average_area == pytest.approx(paper_avg.area, rel=0.05)
+
+    def test_cmos_average_close_to_paper(self, cmos_library):
+        _, summary = characterize_family(cmos_library)
+        paper_avg = PAPER_TABLE2_AVERAGES["cmos"]
+        assert summary.average_fo4 == pytest.approx(paper_avg.fo4_average, rel=0.2)
+
+    def test_characterize_cell_fields(self, tg_static_library):
+        row = characterize_cell(tg_static_library.cell("F01"))
+        assert row.function_id == "F01"
+        assert row.transistors == 4
+        assert row.area_with_inverter > row.area
+        assert row.fo4_average_with_inverter > row.fo4_average
+        assert row.full_swing
+
+
+class TestFamilyOrderings:
+    """Qualitative family-level claims of Sec. 4.3."""
+
+    @pytest.fixture(scope="class")
+    def summaries(self):
+        results = {}
+        for family in (LogicFamily.TG_STATIC, LogicFamily.TG_PSEUDO, LogicFamily.PASS_PSEUDO):
+            library = build_library(family)
+            _, summary = characterize_family(library)
+            results[family] = summary
+        return results
+
+    def test_pseudo_saves_area_over_static(self, summaries):
+        static = summaries[LogicFamily.TG_STATIC]
+        pseudo = summaries[LogicFamily.TG_PSEUDO]
+        # Paper: 8.5 vs 12.3 average area (~31% smaller).
+        assert pseudo.average_area < 0.8 * static.average_area
+
+    def test_pseudo_slower_than_static(self, summaries):
+        static = summaries[LogicFamily.TG_STATIC]
+        pseudo = summaries[LogicFamily.TG_PSEUDO]
+        assert pseudo.average_fo4 > static.average_fo4
+
+    def test_pass_pseudo_is_the_worst_choice(self, summaries):
+        tg_pseudo = summaries[LogicFamily.TG_PSEUDO]
+        pass_pseudo = summaries[LogicFamily.PASS_PSEUDO]
+        # Paper: 2x slower on average and not much smaller.
+        assert pass_pseudo.average_fo4 > 1.5 * tg_pseudo.average_fo4
+
+    def test_transistor_count_ordering(self, summaries):
+        static = summaries[LogicFamily.TG_STATIC]
+        pseudo = summaries[LogicFamily.TG_PSEUDO]
+        pass_pseudo = summaries[LogicFamily.PASS_PSEUDO]
+        assert static.average_transistors > pseudo.average_transistors
+        assert pseudo.average_transistors > pass_pseudo.average_transistors

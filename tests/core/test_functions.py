@@ -1,0 +1,93 @@
+"""Tests for the Table-1 function set (F00..F45)."""
+
+import pytest
+
+from repro.core import CMOS_FUNCTION_IDS, TABLE1_FUNCTIONS, function_by_id
+from repro.core.functions import cmos_functions
+from repro.logic import TruthTable
+
+
+class TestTableShape:
+    def test_there_are_46_functions(self):
+        # The headline claim of Sec. 3.1: 46 functions vs. 7 for CMOS.
+        assert len(TABLE1_FUNCTIONS) == 46
+
+    def test_ids_are_f00_to_f45_in_order(self):
+        assert [spec.function_id for spec in TABLE1_FUNCTIONS] == [
+            f"F{i:02d}" for i in range(46)
+        ]
+
+    def test_cmos_subset_has_7_functions(self):
+        assert len(CMOS_FUNCTION_IDS) == 7
+        assert set(CMOS_FUNCTION_IDS) == {"F00", "F02", "F03", "F10", "F11", "F12", "F13"}
+
+    def test_cmos_functions_have_no_xor(self):
+        for spec in cmos_functions():
+            assert not spec.uses_xor()
+
+    def test_all_non_cmos_functions_use_xor(self):
+        for spec in TABLE1_FUNCTIONS:
+            if spec.function_id not in CMOS_FUNCTION_IDS:
+                assert spec.uses_xor(), spec.function_id
+
+    def test_lookup_by_id(self):
+        assert function_by_id("F05").expression_text == "(A ^ B) & C"
+        with pytest.raises(KeyError):
+            function_by_id("F99")
+
+
+class TestFunctionSemantics:
+    def test_functions_are_pairwise_distinct(self):
+        # Distinctness up to the shared 6-variable space A..F.
+        variables = ("A", "B", "C", "D", "E", "F")
+        seen = {}
+        for spec in TABLE1_FUNCTIONS:
+            table = spec.expression.to_truth_table(variables)
+            assert table.bits not in seen, (
+                f"{spec.function_id} duplicates {seen.get(table.bits)}"
+            )
+            seen[table.bits] = spec.function_id
+
+    def test_arity_never_exceeds_six(self):
+        for spec in TABLE1_FUNCTIONS:
+            assert 1 <= spec.arity <= 6
+
+    def test_input_names_sorted(self):
+        for spec in TABLE1_FUNCTIONS:
+            assert list(spec.input_names) == sorted(spec.input_names)
+
+    @pytest.mark.parametrize(
+        "fid,assignment,value",
+        [
+            ("F01", {"A": 1, "B": 0}, True),
+            ("F01", {"A": 1, "B": 1}, False),
+            ("F05", {"A": 1, "B": 0, "C": 1}, True),
+            ("F05", {"A": 1, "B": 1, "C": 1}, False),
+            ("F09", {"A": 1, "B": 0, "C": 0, "D": 1}, True),
+            ("F16", {"A": 0, "B": 0, "C": 0, "D": 0}, False),
+            ("F16", {"A": 1, "B": 0, "C": 0, "D": 0}, True),
+            ("F45", {"A": 1, "B": 1, "C": 1, "D": 0, "E": 0, "F": 0}, True),
+        ],
+    )
+    def test_spot_values(self, fid, assignment, value):
+        spec = function_by_id(fid)
+        env = {k: bool(v) for k, v in assignment.items()}
+        assert spec.expression.evaluate(env) is value
+
+    def test_truth_table_support_matches_inputs(self):
+        for spec in TABLE1_FUNCTIONS:
+            table = spec.truth_table()
+            assert table.num_vars == spec.arity
+            # Every declared input is in the functional support.
+            assert table.support() == tuple(range(spec.arity))
+
+    def test_series_parallel_constraint_of_table1(self):
+        # Table 1 is defined by "no more than 3 series transmission gates or
+        # transistors in each PU/PD network": check the pull-down depth and
+        # its dual's depth never exceed 3 terms.
+        from repro.circuits import network_from_expr
+
+        for spec in TABLE1_FUNCTIONS:
+            network = network_from_expr(spec.expression)
+            assert network.series_depth() <= 3, spec.function_id
+            assert network.dual().series_depth() <= 3, spec.function_id

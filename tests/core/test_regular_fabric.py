@@ -1,0 +1,116 @@
+"""Tests for the Sec. 5 regular-fabric model (GNOR / GNAND blocks)."""
+
+import pytest
+
+from repro.core import function_by_id
+from repro.core.regular_fabric import (
+    BlockKind,
+    FabricConfigurationError,
+    GeneralizedGate,
+    RegularFabric,
+)
+
+
+def _all_assignments(names):
+    for minterm in range(1 << len(names)):
+        yield {name: bool((minterm >> i) & 1) for i, name in enumerate(names)}
+
+
+class TestGeneralizedGate:
+    def test_unconfigured_gnor_outputs_one(self):
+        gate = GeneralizedGate(BlockKind.GNOR)
+        assert not gate.is_configured()
+        assert gate.evaluate({}) is True
+
+    def test_gnor_realizes_f08(self):
+        # F08 = (A^B) + (C^D); the block output is the complement.
+        gate = GeneralizedGate(BlockKind.GNOR)
+        spec = function_by_id("F08")
+        gate.configure(spec)
+        for env in _all_assignments(spec.input_names):
+            assert gate.evaluate(env) == (not spec.expression.evaluate(env))
+
+    def test_gnand_realizes_f09(self):
+        gate = GeneralizedGate(BlockKind.GNAND)
+        spec = function_by_id("F09")
+        gate.configure(spec)
+        for env in _all_assignments(spec.input_names):
+            assert gate.evaluate(env) == (not spec.expression.evaluate(env))
+
+    def test_literal_terms_use_constant_polarity(self):
+        # F04 = (A^B) + C: the C term ties its polarity input to 0.
+        gate = GeneralizedGate(BlockKind.GNOR)
+        spec = function_by_id("F04")
+        gate.configure(spec)
+        for env in _all_assignments(spec.input_names):
+            assert gate.evaluate(env) == (not spec.expression.evaluate(env))
+
+    def test_wrong_block_kind_rejected(self):
+        gate = GeneralizedGate(BlockKind.GNAND)
+        with pytest.raises(FabricConfigurationError):
+            gate.configure(function_by_id("F08"))
+
+    def test_mixed_and_or_function_rejected(self):
+        # F23 = A + (B^D)C mixes OR and AND: one generalized gate is not enough.
+        gate = GeneralizedGate(BlockKind.GNOR)
+        with pytest.raises(FabricConfigurationError):
+            gate.configure(function_by_id("F23"))
+
+    def test_too_many_terms_rejected(self):
+        gate = GeneralizedGate(BlockKind.GNOR, term_count=2)
+        with pytest.raises(FabricConfigurationError):
+            gate.configure(function_by_id("F16"))
+
+    def test_block_area_positive_and_symmetric(self):
+        gnor = GeneralizedGate(BlockKind.GNOR).area()
+        gnand = GeneralizedGate(BlockKind.GNAND).area()
+        # Fig. 8: the two blocks share the same physical layout (rotated).
+        assert gnor == pytest.approx(gnand)
+        assert gnor > 0
+
+    def test_signals_listed(self):
+        gate = GeneralizedGate(BlockKind.GNOR)
+        gate.configure(function_by_id("F16"))
+        assert gate.signals() == ("A", "B", "C", "D")
+
+
+class TestRegularFabric:
+    def test_checkerboard_layout(self):
+        fabric = RegularFabric(rows=2, columns=2)
+        assert fabric.block_at(0, 0).gate.kind is BlockKind.GNOR
+        assert fabric.block_at(0, 1).gate.kind is BlockKind.GNAND
+        assert fabric.block_at(1, 0).gate.kind is BlockKind.GNAND
+        assert fabric.block_at(1, 1).gate.kind is BlockKind.GNOR
+
+    def test_place_or_and_forms(self):
+        fabric = RegularFabric(rows=2, columns=2)
+        nor_block = fabric.place_function(function_by_id("F16"))
+        nand_block = fabric.place_function(function_by_id("F29"))
+        assert nor_block.gate.kind is BlockKind.GNOR
+        assert nand_block.gate.kind is BlockKind.GNAND
+        assert fabric.utilization() == pytest.approx(0.5)
+
+    def test_place_runs_out_of_blocks(self):
+        fabric = RegularFabric(rows=1, columns=2)
+        fabric.place_function(function_by_id("F08"))
+        with pytest.raises(FabricConfigurationError):
+            fabric.place_function(function_by_id("F16"))
+
+    def test_unmappable_function_reports_error(self):
+        fabric = RegularFabric(rows=2, columns=2)
+        with pytest.raises(FabricConfigurationError):
+            fabric.place_function(function_by_id("F20"))
+
+    def test_total_area_scales_with_size(self):
+        small = RegularFabric(rows=1, columns=2).total_area()
+        large = RegularFabric(rows=2, columns=4).total_area()
+        assert large == pytest.approx(4 * small / 2 * 2)
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            RegularFabric(rows=0, columns=3)
+
+    def test_block_lookup_error(self):
+        fabric = RegularFabric(rows=1, columns=1)
+        with pytest.raises(KeyError):
+            fabric.block_at(3, 3)

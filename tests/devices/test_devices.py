@@ -1,0 +1,178 @@
+"""Unit tests for device primitives and technology constants."""
+
+import pytest
+
+from repro.devices import (
+    CMOS_32NM,
+    CNTFET_32NM,
+    ChannelType,
+    Device,
+    DeviceRole,
+    Literal,
+    PolarityControl,
+    pass_transistor_device,
+    transmission_gate_devices,
+)
+
+
+class TestTechnology:
+    def test_cntfet_symmetric_devices(self):
+        assert CNTFET_32NM.pn_resistance_ratio == 1.0
+        assert CNTFET_32NM.inverter_pmos_width == 1.0
+        assert CNTFET_32NM.inverter_input_capacitance == 2.0
+        assert CNTFET_32NM.inverter_area == 2.0
+        assert CNTFET_32NM.ambipolar
+
+    def test_cmos_mobility_ratio(self):
+        assert CMOS_32NM.pn_resistance_ratio == 2.0
+        assert CMOS_32NM.inverter_pmos_width == 2.0
+        assert CMOS_32NM.inverter_input_capacitance == 3.0
+        assert not CMOS_32NM.ambipolar
+
+    def test_intrinsic_delays_match_paper(self):
+        assert CNTFET_32NM.tau_ps == pytest.approx(0.59)
+        assert CMOS_32NM.tau_ps == pytest.approx(3.00)
+
+    def test_width_for_resistance(self):
+        assert CNTFET_32NM.n_width_for_resistance(0.5) == 2.0
+        assert CMOS_32NM.p_width_for_resistance(0.5) == 4.0
+        with pytest.raises(ValueError):
+            CNTFET_32NM.n_width_for_resistance(0.0)
+
+
+class TestLiteral:
+    def test_complement_round_trip(self):
+        a = Literal("A")
+        assert a.complement().complement() == a
+        assert str(a.complement()) == "A'"
+
+    def test_evaluate(self):
+        assert Literal("A").evaluate({"A": True})
+        assert Literal("A", negated=True).evaluate({"A": False})
+        with pytest.raises(KeyError):
+            Literal("A").evaluate({})
+
+
+class TestPolarityControl:
+    def test_fixed(self):
+        control = PolarityControl.fixed(ChannelType.N)
+        assert control.is_fixed
+        assert control.channel_type({}) is ChannelType.N
+
+    def test_signal_controlled(self):
+        control = PolarityControl.signal(Literal("B"))
+        assert not control.is_fixed
+        assert control.channel_type({"B": False}) is ChannelType.N
+        assert control.channel_type({"B": True}) is ChannelType.P
+
+    def test_exactly_one_argument(self):
+        with pytest.raises(ValueError):
+            PolarityControl(ChannelType.N, Literal("B"))
+        with pytest.raises(ValueError):
+            PolarityControl(None, None)
+
+
+class TestDevice:
+    def _n_device(self):
+        return Device(
+            role=DeviceRole.PULL_DOWN,
+            gate=Literal("A"),
+            polarity=PolarityControl.fixed(ChannelType.N),
+            width=1.0,
+            node_a="Y",
+            node_b="VSS",
+        )
+
+    def test_n_device_conduction(self):
+        device = self._n_device()
+        assert device.conducts({"A": True})
+        assert not device.conducts({"A": False})
+
+    def test_p_device_conduction(self):
+        device = Device(
+            role=DeviceRole.PULL_UP,
+            gate=Literal("A"),
+            polarity=PolarityControl.fixed(ChannelType.P),
+            width=1.0,
+            node_a="VDD",
+            node_b="Y",
+        )
+        assert device.conducts({"A": False})
+        assert not device.conducts({"A": True})
+
+    def test_always_on_load(self):
+        load = Device(
+            role=DeviceRole.PSEUDO_LOAD,
+            gate=None,
+            polarity=PolarityControl.fixed(ChannelType.P),
+            width=1 / 3,
+            node_a="VDD",
+            node_b="Y",
+        )
+        assert load.conducts({})
+        assert load.conducts({"A": True})
+
+    def test_strength(self):
+        device = self._n_device()
+        assert device.passes_strongly(False, {"A": True})
+        assert not device.passes_strongly(True, {"A": True})
+
+    def test_width_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Device(
+                role=DeviceRole.PULL_DOWN,
+                gate=Literal("A"),
+                polarity=PolarityControl.fixed(ChannelType.N),
+                width=0.0,
+                node_a="Y",
+                node_b="VSS",
+            )
+
+    def test_signal_loads_include_polarity_gate(self):
+        device = Device(
+            role=DeviceRole.PULL_DOWN,
+            gate=Literal("A"),
+            polarity=PolarityControl.signal(Literal("B")),
+            width=0.5,
+            node_a="Y",
+            node_b="VSS",
+        )
+        loads = device.signal_loads()
+        assert loads[Literal("A")] == pytest.approx(0.5)
+        assert loads[Literal("B")] == pytest.approx(0.5)
+
+
+class TestAmbipolarSwitches:
+    def test_single_pass_transistor_implements_xor(self):
+        device = pass_transistor_device(
+            Literal("A"), Literal("B"), 2.0, "Y", "VSS", DeviceRole.PULL_DOWN
+        )
+        for a in (False, True):
+            for b in (False, True):
+                assert device.conducts({"A": a, "B": b}) == (a != b)
+
+    def test_transmission_gate_both_devices_conduct_on_xor(self):
+        first, second = transmission_gate_devices(
+            Literal("A"), Literal("B"), 2 / 3, "Y", "VSS", DeviceRole.PULL_DOWN
+        )
+        for a in (False, True):
+            for b in (False, True):
+                env = {"A": a, "B": b}
+                assert first.conducts(env) == (a != b)
+                assert second.conducts(env) == (a != b)
+
+    def test_transmission_gate_always_has_a_strong_path(self):
+        # Whenever the gate conducts, one of the two devices passes each rail
+        # value at full swing (Fig. 3 of the paper).
+        first, second = transmission_gate_devices(
+            Literal("A"), Literal("B"), 2 / 3, "Y", "VSS", DeviceRole.PULL_DOWN
+        )
+        for a in (False, True):
+            for b in (False, True):
+                env = {"A": a, "B": b}
+                if not first.conducts(env):
+                    continue
+                for rail_value in (False, True):
+                    assert first.passes_strongly(rail_value, env) or second.passes_strongly(
+                        rail_value, env
+                    )

@@ -1,0 +1,40 @@
+"""Tests for the experiment runner CLI and the report rendering helpers."""
+
+import pytest
+
+from repro.experiments.runner import main
+from repro.experiments.report import render_table2
+from repro.experiments.table2 import run_table2
+
+
+class TestRunnerCli:
+    def test_table2_only_run(self, capsys):
+        exit_code = main(["--skip-table3"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Table 2" in captured
+        assert "CNTFET TG static" in captured
+        assert "total runtime" in captured
+
+    def test_subset_run_includes_table3_and_figure6(self, capsys):
+        exit_code = main(["add-16"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Table 3" in captured
+        assert "Figure 6" in captured
+        assert "add-16" in captured
+        assert "[ok]" in captured
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            main(["not-a-benchmark"])
+
+
+class TestReportDetails:
+    def test_per_cell_rendering_includes_paper_columns(self):
+        table2 = run_table2()
+        text = render_table2(table2, per_cell=True)
+        assert "paper: T=" in text
+        # Every Table-1 id appears in the per-cell dump of the static family.
+        for fid in ("F00", "F16", "F29", "F45"):
+            assert fid in text

@@ -1,0 +1,54 @@
+"""Tests for the Table-2 experiment (library characterization vs. paper)."""
+
+import pytest
+
+from repro.core.families import LogicFamily
+from repro.experiments.report import render_table2
+from repro.experiments.table2 import TABLE2_FAMILIES, run_table2
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return run_table2()
+
+
+class TestTable2Experiment:
+    def test_all_four_families_characterized(self, table2):
+        assert set(table2.summaries) == set(TABLE2_FAMILIES)
+        assert len(table2.rows[LogicFamily.TG_STATIC]) == 46
+        assert len(table2.rows[LogicFamily.CMOS]) == 7
+
+    def test_average_area_within_five_percent_of_paper(self, table2):
+        for family in (LogicFamily.TG_STATIC, LogicFamily.TG_PSEUDO, LogicFamily.PASS_PSEUDO):
+            ratio = table2.area_ratio_to_paper(family)
+            assert 0.95 < ratio < 1.05, family
+
+    def test_average_fo4_within_twenty_percent_of_paper(self, table2):
+        for family in TABLE2_FAMILIES:
+            measured = table2.summaries[family].average_fo4
+            paper = table2.paper_averages[family].fo4_average
+            assert measured == pytest.approx(paper, rel=0.20), family
+
+    def test_family_orderings_match_paper(self, table2):
+        static = table2.summaries[LogicFamily.TG_STATIC]
+        pseudo = table2.summaries[LogicFamily.TG_PSEUDO]
+        pass_pseudo = table2.summaries[LogicFamily.PASS_PSEUDO]
+        cmos = table2.summaries[LogicFamily.CMOS]
+        # Area: pseudo < pass-pseudo < static ~ CMOS.
+        assert pseudo.average_area < pass_pseudo.average_area < static.average_area
+        assert abs(static.average_area - cmos.average_area) / cmos.average_area < 0.1
+        # Delay: static < pseudo < pass-pseudo.
+        assert static.average_fo4 < pseudo.average_fo4 < pass_pseudo.average_fo4
+
+    def test_paper_rows_available_for_every_cell(self, table2):
+        for family in (LogicFamily.TG_STATIC, LogicFamily.TG_PSEUDO, LogicFamily.PASS_PSEUDO):
+            measured_ids = {row.function_id for row in table2.rows[family]}
+            assert measured_ids == set(table2.paper_rows[family])
+
+    def test_render_table2_mentions_all_families(self, table2):
+        text = render_table2(table2)
+        assert "CNTFET TG static" in text
+        assert "CMOS static" in text
+        per_cell = render_table2(table2, per_cell=True)
+        assert "F45" in per_cell
+        assert len(per_cell) > len(text)

@@ -1,0 +1,109 @@
+"""Tests for the Table-3 / Figure-6 experiments on a fast benchmark subset.
+
+The full 15-benchmark sweep is exercised by ``benchmarks/``; these tests run
+the complete flow end to end on the small XOR-rich and control-logic
+benchmarks so that the headline trends of the paper are checked in the
+regular test suite within a few seconds.
+"""
+
+import pytest
+
+from repro.core.families import LogicFamily
+from repro.experiments.figure6 import figure6_from_table3
+from repro.experiments.report import render_comparison, render_figure6, render_table3
+from repro.experiments.table3 import run_table3
+
+SUBSET = ("add-16", "C1355", "t481")
+
+
+@pytest.fixture(scope="module")
+def table3_subset():
+    return run_table3(benchmark_names=SUBSET)
+
+
+class TestTable3Experiment:
+    def test_all_requested_benchmarks_present(self, table3_subset):
+        assert {row.name for row in table3_subset.rows} == set(SUBSET)
+        for row in table3_subset.rows:
+            assert set(row.results) == {
+                LogicFamily.TG_STATIC,
+                LogicFamily.TG_PSEUDO,
+                LogicFamily.CMOS,
+            }
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            run_table3(benchmark_names=("nonexistent",))
+
+    def test_every_mapping_is_nonempty(self, table3_subset):
+        for row in table3_subset.rows:
+            for stats in row.results.values():
+                assert stats.gates > 0
+                assert stats.area > 0
+                assert stats.levels > 0
+                assert stats.normalized_delay > 0
+                assert stats.absolute_delay_ps == pytest.approx(
+                    stats.normalized_delay
+                    * (0.59 if stats is not row.results[LogicFamily.CMOS] else 3.0)
+                )
+
+    def test_cntfet_families_beat_cmos_on_gates_and_area(self, table3_subset):
+        # The headline Table-3 trend, checked per benchmark.
+        for row in table3_subset.rows:
+            cmos = row.results[LogicFamily.CMOS]
+            for family in (LogicFamily.TG_STATIC, LogicFamily.TG_PSEUDO):
+                ours = row.results[family]
+                assert ours.gates < cmos.gates, row.name
+                assert ours.area < cmos.area, row.name
+
+    def test_absolute_speedup_over_cmos(self, table3_subset):
+        # Technology factor (tau 0.59 vs 3.0 ps) plus design factor: every
+        # benchmark must show a substantial absolute speed-up.
+        for row in table3_subset.rows:
+            assert row.speedup_vs_cmos(LogicFamily.TG_STATIC) > 2.0, row.name
+
+    def test_static_faster_pseudo_smaller(self, table3_subset):
+        static_delay = table3_subset.average(LogicFamily.TG_STATIC, "absolute_delay_ps")
+        pseudo_delay = table3_subset.average(LogicFamily.TG_PSEUDO, "absolute_delay_ps")
+        static_area = table3_subset.average(LogicFamily.TG_STATIC, "area")
+        pseudo_area = table3_subset.average(LogicFamily.TG_PSEUDO, "area")
+        assert static_delay < pseudo_delay
+        assert pseudo_area < static_area
+
+    def test_adder_speedup_close_to_paper(self, table3_subset):
+        # Paper Figure 6: add-16 speed-up ~6.9x for the static family; the
+        # adders are exact reconstructions so the measured value should land
+        # in the same range.
+        row = table3_subset.row("add-16")
+        assert row.speedup_vs_cmos(LogicFamily.TG_STATIC) == pytest.approx(6.9, rel=0.35)
+
+    def test_improvement_accessors(self, table3_subset):
+        row = table3_subset.row("add-16")
+        assert 0 < row.improvement_vs_cmos(LogicFamily.TG_STATIC, "gates") < 1
+        assert table3_subset.average_improvement(LogicFamily.TG_STATIC, "area") > 0
+        with pytest.raises(KeyError):
+            table3_subset.row("missing")
+
+
+class TestFigure6AndReports:
+    def test_figure6_series_consistent_with_table3(self, table3_subset):
+        figure = figure6_from_table3(table3_subset)
+        assert figure.benchmark_names == tuple(r.name for r in table3_subset.rows)
+        for i, name in enumerate(figure.benchmark_names):
+            row = table3_subset.row(name)
+            assert figure.static_speedups[i] == pytest.approx(
+                row.speedup_vs_cmos(LogicFamily.TG_STATIC)
+            )
+        assert figure.average_static_speedup > figure.average_pseudo_speedup * 0.8
+        series = figure.series()
+        assert set(series) == set(SUBSET)
+        assert figure.paper_average_static_speedup == pytest.approx(7.15, abs=0.1)
+
+    def test_reports_render(self, table3_subset):
+        table_text = render_table3(table3_subset)
+        assert "add-16" in table_text and "paper" in table_text.lower()
+        figure_text = render_figure6(figure6_from_table3(table3_subset))
+        assert "Average" in figure_text
+        comparison = render_comparison(table3_subset)
+        assert "[ok]" in comparison
+        assert "FAIL" not in comparison

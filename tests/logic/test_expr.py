@@ -1,0 +1,146 @@
+"""Unit tests for the Boolean expression AST and parser."""
+
+import pytest
+
+from repro.logic import And, Const, Not, Or, TruthTable, Var, Xor, parse_expr
+from repro.logic.expr import ExprParseError
+
+
+class TestEvaluation:
+    def test_variable_lookup(self):
+        assert Var("A").evaluate({"A": True})
+        assert not Var("A").evaluate({"A": False})
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(KeyError):
+            Var("A").evaluate({})
+
+    def test_operators(self):
+        a, b = Var("A"), Var("B")
+        env = {"A": True, "B": False}
+        assert And(a, b).evaluate(env) is False
+        assert Or(a, b).evaluate(env) is True
+        assert Xor(a, b).evaluate(env) is True
+        assert Not(a).evaluate(env) is False
+        assert Const(True).evaluate(env) is True
+
+    def test_operator_sugar(self):
+        a, b = Var("A"), Var("B")
+        expr = (a & b) | ~(a ^ b)
+        assert expr.evaluate({"A": True, "B": True})
+        assert not expr.evaluate({"A": True, "B": False})
+
+    def test_variables_sorted_and_unique(self):
+        expr = parse_expr("(B ^ A) & B")
+        assert expr.variables() == ("A", "B")
+
+
+class TestTruthTableConversion:
+    def test_xor_table(self):
+        table = parse_expr("A ^ B").to_truth_table(["A", "B"])
+        assert table == TruthTable.variable(0, 2) ^ TruthTable.variable(1, 2)
+
+    def test_order_controls_variable_positions(self):
+        table = parse_expr("A & !B").to_truth_table(["B", "A"])
+        b = TruthTable.variable(0, 2)
+        a = TruthTable.variable(1, 2)
+        assert table == a & ~b
+
+    def test_order_must_cover_support(self):
+        with pytest.raises(ValueError):
+            parse_expr("A & B").to_truth_table(["A"])
+
+    def test_extra_variables_allowed_in_order(self):
+        table = parse_expr("A").to_truth_table(["A", "Z"])
+        assert table.num_vars == 2
+        assert table.support() == (0,)
+
+
+class TestParser:
+    def test_paper_notation_plus_and_dot(self):
+        # F05 from Table 1: (A xor B) . C, "+" as OR elsewhere
+        expr = parse_expr("(A ^ B) . C")
+        assert expr.evaluate({"A": True, "B": False, "C": True})
+        assert not expr.evaluate({"A": True, "B": True, "C": True})
+
+    def test_apostrophe_complement(self):
+        expr = parse_expr("A' & B")
+        assert expr.evaluate({"A": False, "B": True})
+        assert not expr.evaluate({"A": True, "B": True})
+
+    def test_double_apostrophe(self):
+        expr = parse_expr("A''")
+        assert expr.evaluate({"A": True})
+
+    def test_implicit_and_by_juxtaposition(self):
+        expr = parse_expr("A B")
+        assert expr.evaluate({"A": True, "B": True})
+        assert not expr.evaluate({"A": True, "B": False})
+
+    def test_precedence_and_over_or(self):
+        expr = parse_expr("A | B & C")
+        assert expr.evaluate({"A": False, "B": True, "C": True})
+        assert not expr.evaluate({"A": False, "B": True, "C": False})
+
+    def test_precedence_xor_between_or_and_and(self):
+        # A | B ^ C & D parses as A | (B ^ (C & D))
+        expr = parse_expr("A | B ^ C & D")
+        env = {"A": False, "B": True, "C": True, "D": True}
+        assert expr.evaluate(env) is False
+
+    def test_parentheses(self):
+        expr = parse_expr("(A | B) & (C | D)")
+        assert expr.evaluate({"A": True, "B": False, "C": False, "D": True})
+
+    def test_constants(self):
+        assert parse_expr("1 | A").evaluate({"A": False})
+        assert not parse_expr("0 & A").evaluate({"A": True})
+
+    def test_tilde_and_bang(self):
+        assert parse_expr("~A").evaluate({"A": False})
+        assert parse_expr("!A").evaluate({"A": False})
+
+    def test_error_on_garbage(self):
+        with pytest.raises(ExprParseError):
+            parse_expr("A @ B")
+
+    def test_error_on_unbalanced_parens(self):
+        with pytest.raises(ExprParseError):
+            parse_expr("(A & B")
+
+    def test_error_on_trailing_tokens(self):
+        with pytest.raises(ExprParseError):
+            parse_expr("A ) B")
+
+    def test_error_on_empty(self):
+        with pytest.raises(ExprParseError):
+            parse_expr("")
+
+    def test_round_trip_through_str(self):
+        expr = parse_expr("(A ^ D) | ((B ^ E) & (C ^ F))")
+        reparsed = parse_expr(str(expr))
+        order = list(expr.variables())
+        assert expr.to_truth_table(order) == reparsed.to_truth_table(order)
+
+    def test_all_table1_forms_parse(self):
+        forms = [
+            "A",
+            "A ^ B",
+            "A + B",
+            "A . B",
+            "(A ^ B) + C",
+            "(A ^ B) . C",
+            "(A ^ B) + (A ^ C)",
+            "(A ^ B) . (A ^ C)",
+            "(A ^ B) + (C ^ D)",
+            "(A ^ B) . (C ^ D)",
+            "A + B + C",
+            "(A + B) . C",
+            "A + (B . C)",
+            "A . B . C",
+            "(A ^ D) + ((B ^ E) . (C ^ F))",
+            "(A ^ D) . (B ^ E) . (C ^ F)",
+        ]
+        for form in forms:
+            expr = parse_expr(form)
+            assert expr.variables()

@@ -1,0 +1,172 @@
+"""Unit tests for the bit-packed truth table substrate."""
+
+import pytest
+
+from repro.logic import TruthTable
+from repro.logic.truth_table import truth_table_distance, var_pattern
+
+
+class TestConstruction:
+    def test_constant_false(self):
+        table = TruthTable.constant(False, 3)
+        assert table.bits == 0
+        assert table.count_ones() == 0
+        assert table.is_constant()
+
+    def test_constant_true(self):
+        table = TruthTable.constant(True, 3)
+        assert table.count_ones() == 8
+        assert table.is_constant()
+
+    def test_variable_projection(self):
+        x0 = TruthTable.variable(0, 2)
+        x1 = TruthTable.variable(1, 2)
+        assert x0.output_column() == [0, 1, 0, 1]
+        assert x1.output_column() == [0, 0, 1, 1]
+
+    def test_variable_out_of_range(self):
+        with pytest.raises(ValueError):
+            TruthTable.variable(2, 2)
+
+    def test_from_function_majority(self):
+        maj = TruthTable.from_function(lambda a, b, c: (a + b + c) >= 2, 3)
+        assert maj.count_ones() == 4
+        assert maj.evaluate([1, 1, 0])
+        assert not maj.evaluate([1, 0, 0])
+
+    def test_from_values_round_trip(self):
+        column = [0, 1, 1, 0, 1, 0, 0, 1]
+        table = TruthTable.from_values(column)
+        assert table.output_column() == column
+
+    def test_from_values_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            TruthTable.from_values([0, 1, 1])
+
+    def test_from_minterms(self):
+        table = TruthTable.from_minterms([0, 3], 2)
+        assert table.output_column() == [1, 0, 0, 1]
+
+    def test_from_minterms_out_of_range(self):
+        with pytest.raises(ValueError):
+            TruthTable.from_minterms([4], 2)
+
+    def test_too_many_variables_rejected(self):
+        with pytest.raises(ValueError):
+            TruthTable(21, 0)
+
+    def test_bits_are_masked(self):
+        table = TruthTable(1, 0b111111)
+        assert table.bits == 0b11
+
+
+class TestAlgebra:
+    def test_and_or_xor_invert(self):
+        a = TruthTable.variable(0, 2)
+        b = TruthTable.variable(1, 2)
+        assert (a & b).output_column() == [0, 0, 0, 1]
+        assert (a | b).output_column() == [0, 1, 1, 1]
+        assert (a ^ b).output_column() == [0, 1, 1, 0]
+        assert (~a).output_column() == [1, 0, 1, 0]
+
+    def test_de_morgan(self):
+        a = TruthTable.variable(0, 3)
+        b = TruthTable.variable(1, 3)
+        assert ~(a & b) == (~a) | (~b)
+        assert ~(a | b) == (~a) & (~b)
+
+    def test_incompatible_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            TruthTable.variable(0, 2) & TruthTable.variable(0, 3)
+
+    def test_xor_is_distance(self):
+        a = TruthTable.from_values([0, 1, 1, 0])
+        b = TruthTable.from_values([0, 1, 0, 1])
+        assert truth_table_distance(a, b) == 2
+
+    def test_distance_requires_same_size(self):
+        with pytest.raises(ValueError):
+            truth_table_distance(TruthTable.constant(False, 1), TruthTable.constant(False, 2))
+
+
+class TestStructure:
+    def test_cofactors_of_mux(self):
+        # f = s ? a : b  with variables (s, a, b) = (x0, x1, x2)
+        s = TruthTable.variable(0, 3)
+        a = TruthTable.variable(1, 3)
+        b = TruthTable.variable(2, 3)
+        f = (s & a) | (~s & b)
+        assert f.cofactor(0, True) == a
+        assert f.cofactor(0, False) == b
+
+    def test_support_detection(self):
+        a = TruthTable.variable(0, 3)
+        c = TruthTable.variable(2, 3)
+        f = a ^ c
+        assert f.support() == (0, 2)
+        assert f.depends_on(0)
+        assert not f.depends_on(1)
+
+    def test_shrink_to_support(self):
+        a = TruthTable.variable(0, 4)
+        d = TruthTable.variable(3, 4)
+        f = a & d
+        reduced, mapping = f.shrink_to_support()
+        assert mapping == (0, 3)
+        assert reduced.num_vars == 2
+        assert reduced == TruthTable.variable(0, 2) & TruthTable.variable(1, 2)
+
+    def test_permute_inputs_swap(self):
+        a = TruthTable.variable(0, 2)
+        b = TruthTable.variable(1, 2)
+        f = a & ~b
+        swapped = f.permute_inputs([1, 0])
+        assert swapped == ~a & b
+
+    def test_permute_inputs_validates(self):
+        with pytest.raises(ValueError):
+            TruthTable.variable(0, 2).permute_inputs([0, 0])
+
+    def test_flip_input(self):
+        a = TruthTable.variable(0, 2)
+        b = TruthTable.variable(1, 2)
+        f = a & b
+        assert f.flip_input(0) == ~a & b
+
+    def test_apply_phase_matches_repeated_flip(self):
+        f = TruthTable.from_function(lambda a, b, c: a ^ (b & c), 3)
+        assert f.apply_phase(0b101) == f.flip_input(0).flip_input(2)
+
+    def test_compose_builds_two_level_logic(self):
+        # outer(x, y) = x & y composed with (a|b, a^b) = (a|b) & (a^b)
+        outer = TruthTable.variable(0, 2) & TruthTable.variable(1, 2)
+        a = TruthTable.variable(0, 2)
+        b = TruthTable.variable(1, 2)
+        composed = outer.compose([a | b, a ^ b])
+        assert composed == (a | b) & (a ^ b)
+
+    def test_compose_requires_matching_arity(self):
+        outer = TruthTable.variable(0, 2)
+        with pytest.raises(ValueError):
+            outer.compose([TruthTable.variable(0, 1)])
+
+    def test_permute_expand_rejects_missing_support(self):
+        f = TruthTable.variable(1, 2)
+        with pytest.raises(ValueError):
+            f.permute_expand([0], 1)
+
+
+class TestPresentation:
+    def test_to_hex_xor2(self):
+        xor2 = TruthTable.variable(0, 2) ^ TruthTable.variable(1, 2)
+        assert xor2.to_hex() == "6"
+
+    def test_value_at(self):
+        xor2 = TruthTable.variable(0, 2) ^ TruthTable.variable(1, 2)
+        assert xor2.value_at(1) is True
+        assert xor2.value_at(3) is False
+        with pytest.raises(ValueError):
+            xor2.value_at(4)
+
+    def test_var_pattern_cache_consistency(self):
+        assert var_pattern(1, 3) == TruthTable.variable(1, 3).bits

@@ -1,0 +1,167 @@
+"""Unit tests for the And-Inverter Graph."""
+
+import pytest
+
+from repro.logic.simulation import exhaustive_pattern_words
+from repro.synthesis import Aig
+from repro.synthesis.aig import (
+    CONST0,
+    CONST1,
+    lit_complement,
+    lit_is_complemented,
+    lit_node,
+    make_literal,
+)
+
+
+class TestLiterals:
+    def test_literal_encoding_round_trip(self):
+        literal = make_literal(5, True)
+        assert lit_node(literal) == 5
+        assert lit_is_complemented(literal)
+        assert lit_complement(literal) == make_literal(5, False)
+
+    def test_constants(self):
+        assert lit_complement(CONST0) == CONST1
+
+
+class TestConstruction:
+    def test_pi_and_po(self):
+        aig = Aig("t")
+        a = aig.add_pi("a")
+        aig.add_po("y", a)
+        assert aig.num_pis == 1
+        assert aig.num_pos == 1
+        assert aig.pi_names == ("a",)
+        assert aig.po_names == ("y",)
+
+    def test_duplicate_pi_rejected(self):
+        aig = Aig()
+        aig.add_pi("a")
+        with pytest.raises(ValueError):
+            aig.add_pi("a")
+
+    def test_po_of_unknown_literal_rejected(self):
+        aig = Aig()
+        with pytest.raises(ValueError):
+            aig.add_po("y", 100)
+
+    def test_structural_hashing(self):
+        aig = Aig()
+        a, b = aig.add_pi("a"), aig.add_pi("b")
+        first = aig.and_gate(a, b)
+        second = aig.and_gate(b, a)
+        assert first == second
+        assert aig.num_ands == 1
+
+    def test_local_simplifications(self):
+        aig = Aig()
+        a = aig.add_pi("a")
+        assert aig.and_gate(a, CONST1) == a
+        assert aig.and_gate(a, CONST0) == CONST0
+        assert aig.and_gate(a, a) == a
+        assert aig.and_gate(a, lit_complement(a)) == CONST0
+        assert aig.num_ands == 0
+
+    def test_levels_and_depth(self):
+        aig = Aig()
+        a, b, c = aig.add_pi("a"), aig.add_pi("b"), aig.add_pi("c")
+        ab = aig.and_gate(a, b)
+        abc = aig.and_gate(ab, c)
+        aig.add_po("y", abc)
+        assert aig.level(lit_node(ab)) == 1
+        assert aig.level(lit_node(abc)) == 2
+        assert aig.depth() == 2
+
+    def test_and_many_balances(self):
+        aig = Aig()
+        pis = [aig.add_pi(f"x{i}") for i in range(8)]
+        out = aig.and_many(pis)
+        aig.add_po("y", out)
+        assert aig.depth() == 3
+
+    def test_or_xor_mux_semantics(self):
+        aig = Aig()
+        a, b, s = aig.add_pi("a"), aig.add_pi("b"), aig.add_pi("s")
+        aig.add_po("or", aig.or_gate(a, b))
+        aig.add_po("xor", aig.xor_gate(a, b))
+        aig.add_po("xnor", aig.xnor_gate(a, b))
+        aig.add_po("nand", aig.nand_gate(a, b))
+        aig.add_po("nor", aig.nor_gate(a, b))
+        aig.add_po("mux", aig.mux_gate(s, a, b))
+        for va in (0, 1):
+            for vb in (0, 1):
+                for vs in (0, 1):
+                    out = aig.evaluate({"a": bool(va), "b": bool(vb), "s": bool(vs)})
+                    assert out["or"] == bool(va or vb)
+                    assert out["xor"] == bool(va ^ vb)
+                    assert out["xnor"] == (not bool(va ^ vb))
+                    assert out["nand"] == (not (va and vb))
+                    assert out["nor"] == (not (va or vb))
+                    assert out["mux"] == bool(va if vs else vb)
+
+    def test_xor_many_is_parity(self):
+        aig = Aig()
+        pis = [aig.add_pi(f"x{i}") for i in range(5)]
+        aig.add_po("p", aig.xor_many(pis))
+        assert aig.evaluate({f"x{i}": i in (0, 3) for i in range(5)})["p"] is False
+        assert aig.evaluate({f"x{i}": i in (0, 3, 4) for i in range(5)})["p"] is True
+
+
+class TestSimulation:
+    def test_word_simulation_matches_evaluation(self):
+        aig = Aig()
+        a, b, c = aig.add_pi("a"), aig.add_pi("b"), aig.add_pi("c")
+        aig.add_po("y", aig.or_gate(aig.and_gate(a, b), aig.xor_gate(b, c)))
+        words = exhaustive_pattern_words(["a", "b", "c"])
+        result = aig.simulate_words(words)["y"][0]
+        for minterm in range(8):
+            env = {"a": bool(minterm & 1), "b": bool(minterm & 2), "c": bool(minterm & 4)}
+            assert bool((result >> minterm) & 1) == aig.evaluate(env)["y"]
+
+    def test_simulation_rejects_wrong_inputs(self):
+        aig = Aig()
+        aig.add_pi("a")
+        with pytest.raises(ValueError):
+            aig.simulate_words({"b": [0]})
+
+
+class TestCleanup:
+    def test_cleanup_removes_dangling_logic(self):
+        aig = Aig()
+        a, b = aig.add_pi("a"), aig.add_pi("b")
+        used = aig.and_gate(a, b)
+        aig.or_gate(a, b)  # dangling
+        aig.add_po("y", used)
+        cleaned = aig.cleanup()
+        assert cleaned.num_ands == 1
+        assert cleaned.pi_names == ("a", "b")
+        assert cleaned.evaluate({"a": True, "b": True})["y"] is True
+
+    def test_cleanup_preserves_constant_outputs(self):
+        aig = Aig()
+        aig.add_pi("a")
+        aig.add_po("zero", CONST0)
+        aig.add_po("one", CONST1)
+        cleaned = aig.cleanup()
+        result = cleaned.evaluate({"a": False})
+        assert result == {"zero": False, "one": True}
+
+    def test_fanout_counts(self):
+        aig = Aig()
+        a, b, c = aig.add_pi("a"), aig.add_pi("b"), aig.add_pi("c")
+        shared = aig.and_gate(a, b)
+        aig.add_po("y1", aig.and_gate(shared, c))
+        aig.add_po("y2", shared)
+        counts = aig.fanout_counts()
+        assert counts[lit_node(shared)] == 2
+
+    def test_statistics(self):
+        aig = Aig("s")
+        a, b = aig.add_pi("a"), aig.add_pi("b")
+        aig.add_po("y", aig.xor_gate(a, b))
+        stats = aig.statistics()
+        assert stats["pis"] == 2
+        assert stats["pos"] == 1
+        assert stats["ands"] == 3
+        assert stats["depth"] == 2

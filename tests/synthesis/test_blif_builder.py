@@ -1,0 +1,192 @@
+"""Tests for the BLIF reader/writer and the circuit builder."""
+
+import pytest
+
+from repro.logic.simulation import exhaustive_pattern_words, random_pattern_words
+from repro.synthesis import CircuitBuilder, read_blif, write_blif
+from repro.synthesis.blif import BlifParseError
+
+
+SAMPLE_BLIF = """
+.model sample
+.inputs a b c
+.outputs f g
+.names a b ab
+11 1
+.names ab c f
+1- 1
+-1 1
+.names a c g
+10 1
+01 1
+.end
+"""
+
+
+class TestBlifReader:
+    def test_parse_and_evaluate(self):
+        aig = read_blif(SAMPLE_BLIF)
+        assert aig.pi_names == ("a", "b", "c")
+        assert aig.po_names == ("f", "g")
+        # f = (a & b) | c, g = a ^ c
+        for minterm in range(8):
+            env = {"a": bool(minterm & 1), "b": bool(minterm & 2), "c": bool(minterm & 4)}
+            out = aig.evaluate(env)
+            assert out["f"] == ((env["a"] and env["b"]) or env["c"])
+            assert out["g"] == (env["a"] != env["c"])
+
+    def test_constant_names(self):
+        text = """
+.model consts
+.inputs a
+.outputs one zero buf
+.names one
+1
+.names zero
+.names a buf
+1 1
+.end
+"""
+        aig = read_blif(text)
+        out = aig.evaluate({"a": True})
+        assert out == {"one": True, "zero": False, "buf": True}
+
+    def test_inverted_cover_output(self):
+        text = """
+.model inv
+.inputs a b
+.outputs y
+.names a b y
+11 0
+.end
+"""
+        aig = read_blif(text)
+        assert aig.evaluate({"a": True, "b": True})["y"] is False
+        assert aig.evaluate({"a": True, "b": False})["y"] is True
+
+    def test_undefined_signal_rejected(self):
+        with pytest.raises(BlifParseError):
+            read_blif(".model x\n.inputs a\n.outputs y\n.end")
+
+    def test_latch_rejected(self):
+        with pytest.raises(BlifParseError):
+            read_blif(".model x\n.inputs a\n.outputs y\n.latch a y re clk 0\n.end")
+
+    def test_malformed_cube_rejected(self):
+        with pytest.raises(BlifParseError):
+            read_blif(".model x\n.inputs a b\n.outputs y\n.names a b y\n1 1 1\n.end")
+
+
+class TestBlifRoundTrip:
+    def test_write_then_read_is_equivalent(self):
+        builder = CircuitBuilder("rt")
+        a = builder.input_bus("a", 4)
+        b = builder.input_bus("b", 4)
+        total, carry = builder.ripple_adder(a, b)
+        builder.output_bus("s", total)
+        builder.output("cout", carry)
+        original = builder.finish()
+
+        rebuilt = read_blif(write_blif(original))
+        patterns = random_pattern_words(original.pi_names, num_words=4)
+        assert original.simulate_words(patterns) == rebuilt.simulate_words(patterns)
+
+
+class TestCircuitBuilder:
+    def test_ripple_adder_adds(self):
+        builder = CircuitBuilder("adder")
+        a = builder.input_bus("a", 4)
+        b = builder.input_bus("b", 4)
+        total, carry = builder.ripple_adder(a, b)
+        builder.output_bus("s", total)
+        builder.output("cout", carry)
+        aig = builder.finish()
+        for x in range(16):
+            for y in range(16):
+                env = {f"a[{i}]": bool((x >> i) & 1) for i in range(4)}
+                env.update({f"b[{i}]": bool((y >> i) & 1) for i in range(4)})
+                out = aig.evaluate(env)
+                value = sum((1 << i) for i in range(4) if out[f"s[{i}]"])
+                value += 16 if out["cout"] else 0
+                assert value == x + y
+
+    def test_subtractor(self):
+        builder = CircuitBuilder("sub")
+        a = builder.input_bus("a", 4)
+        b = builder.input_bus("b", 4)
+        diff, _ = builder.subtractor(a, b)
+        builder.output_bus("d", diff)
+        aig = builder.finish()
+        out = aig.evaluate(
+            {**{f"a[{i}]": bool((9 >> i) & 1) for i in range(4)},
+             **{f"b[{i}]": bool((3 >> i) & 1) for i in range(4)}}
+        )
+        value = sum((1 << i) for i in range(4) if out[f"d[{i}]"])
+        assert value == 6
+
+    def test_equal_and_parity(self):
+        builder = CircuitBuilder("cmp")
+        a = builder.input_bus("a", 3)
+        b = builder.input_bus("b", 3)
+        builder.output("eq", builder.equal(a, b))
+        builder.output("par", builder.parity(a))
+        aig = builder.finish()
+        env = {f"a[{i}]": bool((5 >> i) & 1) for i in range(3)}
+        env.update({f"b[{i}]": bool((5 >> i) & 1) for i in range(3)})
+        out = aig.evaluate(env)
+        assert out["eq"] is True
+        assert out["par"] is False  # 5 = 0b101 has two set bits
+
+    def test_decoder_one_hot(self):
+        builder = CircuitBuilder("dec")
+        select = builder.input_bus("s", 2)
+        outputs = builder.decoder(select)
+        builder.output_bus("o", outputs)
+        aig = builder.finish()
+        for value in range(4):
+            env = {f"s[{i}]": bool((value >> i) & 1) for i in range(2)}
+            out = aig.evaluate(env)
+            assert [out[f"o[{i}]"] for i in range(4)] == [i == value for i in range(4)]
+
+    def test_mux_tree(self):
+        builder = CircuitBuilder("mux")
+        select = builder.input_bus("s", 2)
+        data = builder.input_bus("d", 4)
+        builder.output("y", builder.mux_tree(select, data))
+        aig = builder.finish()
+        for sel in range(4):
+            env = {f"s[{i}]": bool((sel >> i) & 1) for i in range(2)}
+            env.update({f"d[{i}]": i == sel for i in range(4)})
+            assert aig.evaluate(env)["y"] is True
+
+    def test_truth_table_logic(self):
+        builder = CircuitBuilder("tt")
+        inputs = builder.input_bus("x", 3)
+        column = [1, 0, 0, 1, 1, 0, 1, 0]
+        builder.output("y", builder.truth_table_logic(inputs, column))
+        aig = builder.finish()
+        for minterm in range(8):
+            env = {f"x[{i}]": bool((minterm >> i) & 1) for i in range(3)}
+            assert aig.evaluate(env)["y"] == bool(column[minterm])
+
+    def test_width_validation(self):
+        builder = CircuitBuilder("err")
+        a = builder.input_bus("a", 2)
+        b = builder.input_bus("b", 3)
+        with pytest.raises(ValueError):
+            builder.ripple_adder(a, b)
+        with pytest.raises(ValueError):
+            builder.equal(a, b)
+        with pytest.raises(ValueError):
+            builder.mux_tree(a, b)
+        with pytest.raises(ValueError):
+            builder.truth_table_logic(a, [0, 1])
+
+    def test_constant_bus(self):
+        builder = CircuitBuilder("const")
+        builder.input("a")
+        bus = builder.constant_bus(0b1010, 4)
+        builder.output_bus("k", bus)
+        aig = builder.finish()
+        out = aig.evaluate({"a": False})
+        assert [out[f"k[{i}]"] for i in range(4)] == [False, True, False, True]
