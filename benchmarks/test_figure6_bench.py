@@ -11,6 +11,8 @@ import pytest
 from repro.experiments.figure6 import figure6_from_table3
 from repro.experiments.table3 import run_table3
 
+pytestmark = pytest.mark.slow
+
 SUBSET = ("add-16", "add-32", "C1355", "C1908", "t481", "i18", "dalu")
 
 

@@ -12,6 +12,8 @@ from repro.bench.registry import BENCHMARKS, benchmark_by_name
 from repro.core.families import LogicFamily
 from repro.experiments.table3 import map_benchmark, run_table3
 
+pytestmark = pytest.mark.slow
+
 #: Benchmarks small enough to run as individual timed entries; the aggregate
 #: run below still covers all fifteen.
 PER_CIRCUIT = [case.name for case in BENCHMARKS]

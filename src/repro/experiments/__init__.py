@@ -6,9 +6,12 @@
 * :mod:`repro.experiments.figure6` -- the per-benchmark CMOS-to-CNTFET
   absolute-delay ratios (Figure 6);
 * :mod:`repro.experiments.report` -- text rendering and paper-vs-measured
-  comparison helpers used by EXPERIMENTS.md and the pytest benchmarks.
+  comparison helpers used by EXPERIMENTS.md and the pytest benchmarks;
+* :mod:`repro.experiments.engine` -- the parallel, cache-aware job engine
+  the table/figure experiments are scheduled through.
 """
 
+from repro.experiments.engine import ExperimentEngine, MapJob, ResultCache
 from repro.experiments.table2 import Table2Result, run_table2
 from repro.experiments.table3 import Table3Result, Table3Row, run_table3
 from repro.experiments.figure6 import Figure6Result, run_figure6
@@ -20,6 +23,9 @@ from repro.experiments.report import (
 )
 
 __all__ = [
+    "ExperimentEngine",
+    "MapJob",
+    "ResultCache",
     "Table2Result",
     "run_table2",
     "Table3Row",

@@ -1,0 +1,564 @@
+"""Parallel, cache-aware experiment engine.
+
+The engine decomposes the paper's experiments into independent jobs and is
+the single scheduling/caching layer behind :mod:`repro.experiments.table2`,
+:mod:`repro.experiments.table3`, :mod:`repro.experiments.figure6`, the
+``benchmarks/`` suite and the CLI runner:
+
+* **Job decomposition.**  Table 3 becomes one :class:`MapJob` per
+  ``(benchmark, library, objective)`` triple; Table 2 becomes one
+  :class:`CharacterizationJob` per family; Figure 6 is derived from the
+  Table-3 results and needs no jobs of its own.
+* **Parallel execution.**  Jobs run across processes via
+  :class:`concurrent.futures.ProcessPoolExecutor` when ``jobs > 1``.  Every
+  job is a pure function of its spec, so the parallel schedule is
+  bit-identical to the deterministic single-process fallback (which is also
+  used automatically if a process pool cannot be created).
+* **Content-addressed caching.**  Each job result is memoized in an
+  on-disk JSON cache keyed by a SHA-256 hash of the subject AIG structure,
+  the characterized library and the flow parameters.  Corrupted or
+  stale-schema entries are ignored and recomputed.  The cache directory is
+  ``$REPRO_CACHE_DIR``, falling back to ``$XDG_CACHE_HOME/repro/experiments``
+  and then ``~/.cache/repro/experiments``.
+* **JSON artifacts.**  :meth:`ExperimentEngine.write_artifacts` emits
+  machine-readable ``table2.json`` / ``table3.json`` / ``figure6.json``
+  next to the rendered text tables.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.bench.registry import benchmark_by_name
+from repro.core.characterize import (
+    CellCharacterization,
+    FamilySummary,
+    characterize_family,
+)
+from repro.core.families import LogicFamily
+from repro.core.library import GateLibrary, build_library
+from repro.core.paper_data import PAPER_TABLE2, PAPER_TABLE2_AVERAGES
+from repro.experiments.figure6 import Figure6Result, figure6_from_table3
+from repro.experiments.table2 import FAMILY_KEYS, TABLE2_FAMILIES, Table2Result
+from repro.experiments.table3 import (
+    TABLE3_FAMILIES,
+    MappingStats,
+    Table3Result,
+    Table3Row,
+    _paper_row,
+)
+from repro.synthesis.aig import Aig
+from repro.synthesis.cuts import DEFAULT_CUT_LIMIT, DEFAULT_MAX_INPUTS
+from repro.synthesis.mapper import technology_map
+from repro.synthesis.matcher import matcher_for
+from repro.synthesis.optimize import optimize
+
+#: Bump when the meaning of cached payloads changes; old entries are then
+#: treated as misses and recomputed.
+CACHE_SCHEMA = 1
+
+
+def default_cache_dir() -> Path:
+    """Resolve the on-disk cache location (see module docstring)."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "experiments"
+
+
+def aig_fingerprint(aig: Aig) -> str:
+    """Content hash of an AIG's structure (inputs, AND nodes, outputs)."""
+    digest = hashlib.sha256()
+    digest.update(",".join(aig.pi_names).encode())
+    digest.update(b"|")
+    for node in aig.and_nodes():
+        f0, f1 = aig.fanins(node)
+        digest.update(f"{node}:{f0}:{f1};".encode())
+    digest.update(b"|")
+    for name, literal in zip(aig.po_names, aig.po_literals):
+        digest.update(f"{name}={literal};".encode())
+    return digest.hexdigest()
+
+
+def library_fingerprint(library: GateLibrary) -> str:
+    """Content hash of a characterized library.
+
+    Covers every cell field that can reach a cached payload (Table-2 rows
+    cache transistor counts, with-inverter figures and the full-swing flag
+    in addition to the area/delay numbers used by mapping), so any change
+    to the cell construction rules invalidates the cache.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"{library.name}:{library.tau_ps};".encode())
+    for cell in library.cells:
+        digest.update(
+            f"{cell.function_id}:{cell.name}:{cell.arity}:{cell.function.bits}:"
+            f"{cell.expression_text}:{cell.transistor_count}:{int(cell.full_swing)}:"
+            f"{cell.area:.9f}:{cell.area_with_inverter:.9f}:"
+            f"{cell.delay.fo4_worst:.9f}:{cell.delay.fo4_average:.9f}:"
+            f"{cell.delay.parasitic_output:.9f};".encode()
+        )
+    return digest.hexdigest()
+
+
+@lru_cache(maxsize=None)
+def _family_fingerprint(family: LogicFamily) -> str:
+    """Per-family memo of :func:`library_fingerprint` (libraries are cached)."""
+    return library_fingerprint(build_library(family))
+
+
+@dataclass(frozen=True)
+class MapJob:
+    """One (benchmark, library, objective) unit of Table-3 work."""
+
+    benchmark: str
+    family: LogicFamily
+    objective: str = "delay"
+    optimize_first: bool = True
+    max_inputs: int = DEFAULT_MAX_INPUTS
+    cut_limit: int = DEFAULT_CUT_LIMIT
+
+    def spec(self) -> tuple:
+        """Picklable description handed to worker processes."""
+        return (
+            self.benchmark,
+            self.family.value,
+            self.objective,
+            self.optimize_first,
+            self.max_inputs,
+            self.cut_limit,
+        )
+
+
+@dataclass(frozen=True)
+class MapJobResult:
+    """Outcome of one :class:`MapJob`."""
+
+    job: MapJob
+    stats: MappingStats
+    aig_nodes: int
+    aig_depth: int
+    cached: bool
+
+
+@dataclass(frozen=True)
+class CharacterizationJob:
+    """One Table-2 unit of work: characterize a whole family."""
+
+    family: LogicFamily
+
+    def spec(self) -> tuple:
+        return (self.family.value,)
+
+
+class ResultCache:
+    """Content-addressed JSON store; one file per job result.
+
+    Entries failing to parse, carrying a different schema version or a key
+    that does not match their filename are treated as cache misses (the next
+    :meth:`put` overwrites them).
+    """
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = Path(directory)
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict):
+            return None
+        if entry.get("schema") != CACHE_SCHEMA or entry.get("key") != key:
+            return None
+        payload = entry.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def put(self, key: str, payload: dict) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        entry = {"schema": CACHE_SCHEMA, "key": key, "payload": payload}
+        path = self.path_for(key)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(entry, handle, sort_keys=True)
+        os.replace(tmp, path)
+
+
+# Per-process memo of optimized benchmark AIGs so the three family jobs of
+# one benchmark that land in the same process optimize only once.
+_OPTIMIZED_AIGS: dict[tuple[str, bool], Aig] = {}
+
+
+def _subject_aig(benchmark: str, optimize_first: bool) -> Aig:
+    key = (benchmark, optimize_first)
+    cached = _OPTIMIZED_AIGS.get(key)
+    if cached is None:
+        cached = benchmark_by_name(benchmark).build()
+        if optimize_first:
+            cached = optimize(cached)
+        _OPTIMIZED_AIGS[key] = cached
+    return cached
+
+
+def _run_map_job(spec: tuple) -> dict:
+    """Execute one mapping job (worker-side; must stay picklable/pure)."""
+    benchmark, family_value, objective, optimize_first, max_inputs, cut_limit = spec
+    family = LogicFamily(family_value)
+    aig = _subject_aig(benchmark, optimize_first)
+    library = build_library(family)
+    mapped = technology_map(
+        aig,
+        library,
+        matcher=matcher_for(library),
+        objective=objective,
+        max_inputs=max_inputs,
+        cut_limit=cut_limit,
+    )
+    return {
+        "stats": asdict(MappingStats.from_mapped(mapped)),
+        "aig_nodes": aig.num_ands,
+        "aig_depth": aig.depth(),
+    }
+
+
+def _run_characterization_job(spec: tuple) -> dict:
+    """Execute one Table-2 characterization job (worker-side)."""
+    (family_value,) = spec
+    library = build_library(LogicFamily(family_value))
+    rows, summary = characterize_family(library)
+    return {
+        "rows": [asdict(row) for row in rows],
+        "summary": asdict(summary),
+    }
+
+
+class ExperimentEngine:
+    """Schedules experiment jobs over processes with on-disk memoization.
+
+    ``jobs`` is the number of worker processes (``1`` selects the
+    deterministic in-process path, which parallel runs are bit-identical
+    to).  ``use_cache=False`` disables the on-disk cache entirely; otherwise
+    results live under ``cache_dir`` (default: :func:`default_cache_dir`).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Path | str | None = None,
+        use_cache: bool = True,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.cache: ResultCache | None = None
+        if use_cache:
+            self.cache = ResultCache(Path(cache_dir) if cache_dir else default_cache_dir())
+
+    # -- generic job scheduling ---------------------------------------------
+
+    def _execute(self, worker, specs: list[tuple], chunksize: int = 1) -> list[dict]:
+        """Run job specs through ``worker``, in processes when possible.
+
+        Falls back to the deterministic in-process path only when the pool
+        itself cannot be created or breaks (fork failure, dead workers);
+        exceptions raised *by* a job propagate unchanged so real flow
+        errors are not silently retried.
+        """
+        if self.jobs > 1 and len(specs) > 1:
+            try:
+                with ProcessPoolExecutor(max_workers=min(self.jobs, len(specs))) as pool:
+                    return list(pool.map(worker, specs, chunksize=chunksize))
+            except (OSError, BrokenExecutor):
+                pass  # fall back to the in-process path
+        return [worker(spec) for spec in specs]
+
+    def _run_jobs(
+        self,
+        worker,
+        jobs: Sequence,
+        keys: dict,
+        chunksize: int = 1,
+        prepare_parallel: Callable[[list], None] | None = None,
+    ) -> dict:
+        """Cache-aware scheduling shared by map and characterization jobs.
+
+        ``prepare_parallel`` runs in the parent just before a process pool
+        would be forked (i.e. only when there are cache misses to execute
+        in parallel), so expensive shared state can be built once and
+        inherited by the workers.
+        """
+        results: dict = {}
+        pending = []
+        for job in jobs:
+            payload = self.cache.get(keys[job]) if self.cache else None
+            if payload is not None:
+                results[job] = (payload, True)
+            else:
+                pending.append(job)
+        if pending:
+            if prepare_parallel is not None and self.jobs > 1 and len(pending) > 1:
+                prepare_parallel(pending)
+            payloads = self._execute(
+                worker, [job.spec() for job in pending], chunksize=chunksize
+            )
+            for job, payload in zip(pending, payloads):
+                if self.cache is not None:
+                    self.cache.put(keys[job], payload)
+                results[job] = (payload, False)
+        return results
+
+    # -- mapping jobs (Table 3 / Figure 6) ----------------------------------
+
+    def map_job_key(self, job: MapJob, aig: Aig | None = None) -> str:
+        """Content-addressed cache key of one mapping job."""
+        if aig is None:
+            aig = benchmark_by_name(job.benchmark).build()
+        material = json.dumps(
+            {
+                "schema": CACHE_SCHEMA,
+                "kind": "map",
+                "aig": aig_fingerprint(aig),
+                "library": _family_fingerprint(job.family),
+                "objective": job.objective,
+                "optimize_first": job.optimize_first,
+                "max_inputs": job.max_inputs,
+                "cut_limit": job.cut_limit,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def run_map_jobs(self, jobs: Sequence[MapJob]) -> dict[MapJob, MapJobResult]:
+        """Run mapping jobs (cache first, then processes) and decode results."""
+        subject_aigs: dict[str, Aig] = {}
+        keys: dict[MapJob, str] = {}
+        for job in jobs:
+            if job.benchmark not in subject_aigs:
+                subject_aigs[job.benchmark] = benchmark_by_name(job.benchmark).build()
+            keys[job] = self.map_job_key(job, subject_aigs[job.benchmark])
+        def prewarm_matchers(pending: list) -> None:
+            # Build every required library matcher before the pool forks so
+            # worker processes inherit the warm caches instead of each paying
+            # the (expensive) matcher construction on their own.
+            for family in {job.family for job in pending}:
+                matcher_for(build_library(family))
+
+        # Keep the family jobs of one benchmark in the same worker chunk so
+        # its per-process memo of the optimized AIG is reused across them.
+        families_per_benchmark = max(
+            1, len(jobs) // max(1, len({job.benchmark for job in jobs}))
+        )
+        raw = self._run_jobs(
+            _run_map_job,
+            list(jobs),
+            keys,
+            chunksize=families_per_benchmark,
+            prepare_parallel=prewarm_matchers,
+        )
+        results: dict[MapJob, MapJobResult] = {}
+        for job, (payload, cached) in raw.items():
+            results[job] = MapJobResult(
+                job=job,
+                stats=MappingStats(**payload["stats"]),
+                aig_nodes=int(payload["aig_nodes"]),
+                aig_depth=int(payload["aig_depth"]),
+                cached=cached,
+            )
+        return results
+
+    def run_table3(
+        self,
+        benchmark_names: tuple[str, ...] | None = None,
+        families: tuple[LogicFamily, ...] = TABLE3_FAMILIES,
+        objective: str = "delay",
+        optimize_first: bool = True,
+    ) -> Table3Result:
+        """Regenerate Table 3 through the job engine."""
+        from repro.bench.registry import BENCHMARKS
+
+        cases = BENCHMARKS
+        if benchmark_names is not None:
+            wanted = set(benchmark_names)
+            cases = tuple(case for case in BENCHMARKS if case.name in wanted)
+            missing = wanted - {case.name for case in cases}
+            if missing:
+                raise KeyError(f"unknown benchmarks requested: {sorted(missing)}")
+
+        jobs = [
+            MapJob(case.name, family, objective=objective, optimize_first=optimize_first)
+            for case in cases
+            for family in families
+        ]
+        by_job = self.run_map_jobs(jobs)
+
+        result = Table3Result()
+        for case in cases:
+            stats: dict[LogicFamily, MappingStats] = {}
+            aig_nodes = aig_depth = 0
+            for family in families:
+                job_result = by_job[
+                    MapJob(case.name, family, objective=objective,
+                           optimize_first=optimize_first)
+                ]
+                stats[family] = job_result.stats
+                aig_nodes = job_result.aig_nodes
+                aig_depth = job_result.aig_depth
+            result.rows.append(
+                Table3Row(
+                    name=case.name,
+                    function=case.function,
+                    aig_nodes=aig_nodes,
+                    aig_depth=aig_depth,
+                    results=stats,
+                    paper=_paper_row(case.name),
+                )
+            )
+        return result
+
+    # -- characterization jobs (Table 2) ------------------------------------
+
+    def characterization_job_key(self, job: CharacterizationJob) -> str:
+        material = json.dumps(
+            {
+                "schema": CACHE_SCHEMA,
+                "kind": "table2",
+                "library": _family_fingerprint(job.family),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def run_table2(
+        self, families: tuple[LogicFamily, ...] = TABLE2_FAMILIES
+    ) -> Table2Result:
+        """Regenerate Table 2 through the job engine."""
+        jobs = [CharacterizationJob(family) for family in families]
+        keys = {job: self.characterization_job_key(job) for job in jobs}
+        raw = self._run_jobs(_run_characterization_job, jobs, keys)
+
+        rows: dict[LogicFamily, tuple[CellCharacterization, ...]] = {}
+        summaries: dict[LogicFamily, FamilySummary] = {}
+        paper_rows: dict[LogicFamily, dict] = {}
+        paper_averages: dict[LogicFamily, object] = {}
+        for job in jobs:
+            payload, _cached = raw[job]
+            rows[job.family] = tuple(
+                CellCharacterization(**row) for row in payload["rows"]
+            )
+            summaries[job.family] = FamilySummary(**payload["summary"])
+            key = FAMILY_KEYS[job.family]
+            paper_rows[job.family] = {
+                function_id: columns[key]
+                for function_id, columns in PAPER_TABLE2.items()
+                if key in columns
+            }
+            paper_averages[job.family] = PAPER_TABLE2_AVERAGES[key]
+        return Table2Result(
+            rows=rows,
+            summaries=summaries,
+            paper_rows=paper_rows,
+            paper_averages=paper_averages,
+        )
+
+    # -- figure 6 ------------------------------------------------------------
+
+    def run_figure6(
+        self, benchmark_names: tuple[str, ...] | None = None
+    ) -> Figure6Result:
+        """Regenerate the Figure-6 series (reuses the Table-3 job results)."""
+        return figure6_from_table3(self.run_table3(benchmark_names=benchmark_names))
+
+    # -- artifacts -----------------------------------------------------------
+
+    def write_artifacts(
+        self,
+        directory: Path | str,
+        table2: Table2Result | None = None,
+        table3: Table3Result | None = None,
+        figure6: Figure6Result | None = None,
+    ) -> list[Path]:
+        """Write JSON artifacts for the given results; returns written paths."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        written: list[Path] = []
+        payloads = {
+            "table2.json": table2_payload(table2) if table2 else None,
+            "table3.json": table3_payload(table3) if table3 else None,
+            "figure6.json": figure6_payload(figure6) if figure6 else None,
+        }
+        for filename, payload in payloads.items():
+            if payload is None:
+                continue
+            path = directory / filename
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+            written.append(path)
+        return written
+
+
+def table2_payload(result: Table2Result) -> dict:
+    """JSON-ready view of a Table-2 result."""
+    return {
+        "families": {
+            family.value: {
+                "summary": asdict(result.summaries[family]),
+                "cells": [asdict(row) for row in result.rows[family]],
+            }
+            for family in result.summaries
+        }
+    }
+
+
+def table3_payload(result: Table3Result) -> dict:
+    """JSON-ready view of a Table-3 result."""
+    return {
+        "rows": [
+            {
+                "name": row.name,
+                "function": row.function,
+                "aig_nodes": row.aig_nodes,
+                "aig_depth": row.aig_depth,
+                "results": {
+                    family.value: asdict(stats)
+                    for family, stats in row.results.items()
+                },
+            }
+            for row in result.rows
+        ],
+        "average_improvements": {
+            family.value: {
+                metric: result.average_improvement(family, metric)
+                for metric in ("gates", "area", "levels", "normalized_delay")
+            }
+            for family in (LogicFamily.TG_STATIC, LogicFamily.TG_PSEUDO)
+            if result.rows and family in result.rows[0].results
+        },
+        "average_speedups": {
+            family.value: result.average_speedup(family)
+            for family in (LogicFamily.TG_STATIC, LogicFamily.TG_PSEUDO)
+            if result.rows and family in result.rows[0].results
+        },
+    }
+
+
+def figure6_payload(result: Figure6Result) -> dict:
+    """JSON-ready view of a Figure-6 result."""
+    return {
+        "series": result.series(),
+        "average_static_speedup": result.average_static_speedup,
+        "average_pseudo_speedup": result.average_pseudo_speedup,
+        "paper_average_static_speedup": result.paper_average_static_speedup,
+        "paper_average_pseudo_speedup": result.paper_average_pseudo_speedup,
+    }

@@ -80,6 +80,11 @@ def figure6_from_table3(table3: Table3Result) -> Figure6Result:
     )
 
 
-def run_figure6(benchmark_names: tuple[str, ...] | None = None) -> Figure6Result:
+def run_figure6(
+    benchmark_names: tuple[str, ...] | None = None,
+    engine=None,
+) -> Figure6Result:
     """Run the mapping flow and produce the Figure-6 series."""
-    return figure6_from_table3(run_table3(benchmark_names=benchmark_names))
+    return figure6_from_table3(
+        run_table3(benchmark_names=benchmark_names, engine=engine)
+    )

@@ -4,6 +4,28 @@ Run as ``python -m repro.experiments.runner`` (optionally with a subset of
 benchmark names) to print the regenerated Table 2, Table 3 and Figure 6 with
 the paper's values alongside.  The same code paths are exercised by the
 pytest benchmarks in ``benchmarks/``.
+
+Scheduling goes through the parallel experiment engine
+(:mod:`repro.experiments.engine`):
+
+``--jobs N``
+    Run the independent (benchmark, library, objective) mapping jobs on
+    ``N`` worker processes.  ``--jobs 1`` (the default) uses the
+    deterministic in-process path; parallel runs produce bit-identical
+    results.
+
+``--no-cache``
+    Disable the content-addressed on-disk result cache.  By default every
+    job result is memoized under ``$REPRO_CACHE_DIR`` (falling back to
+    ``$XDG_CACHE_HOME/repro/experiments``, then
+    ``~/.cache/repro/experiments``), keyed by a SHA-256 hash of the subject
+    AIG, the characterized library and the flow parameters, so re-runs on
+    unchanged inputs are nearly free.  ``--cache-dir PATH`` relocates the
+    cache.
+
+``--json DIR``
+    Additionally write machine-readable ``table2.json`` / ``table3.json`` /
+    ``figure6.json`` artifacts into ``DIR``.
 """
 
 from __future__ import annotations
@@ -12,6 +34,7 @@ import argparse
 import sys
 import time
 
+from repro.experiments.engine import ExperimentEngine
 from repro.experiments.figure6 import figure6_from_table3
 from repro.experiments.report import (
     render_comparison,
@@ -19,8 +42,6 @@ from repro.experiments.report import (
     render_table2,
     render_table3,
 )
-from repro.experiments.table2 import run_table2
-from repro.experiments.table3 import run_table3
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -40,21 +61,59 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="only regenerate Table 2 (fast)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the experiment engine (default: 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="override the result cache location",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="DIR",
+        default=None,
+        help="also write table2.json/table3.json/figure6.json into DIR",
+    )
     args = parser.parse_args(argv)
 
+    engine = ExperimentEngine(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+
     start = time.time()
-    table2 = run_table2()
+    table2 = engine.run_table2()
     print(render_table2(table2, per_cell=args.per_cell))
     print()
 
+    table3 = figure6 = None
     if not args.skip_table3:
         names = tuple(args.benchmarks) if args.benchmarks else None
-        table3 = run_table3(benchmark_names=names)
+        table3 = engine.run_table3(benchmark_names=names)
+        figure6 = figure6_from_table3(table3)
         print(render_table3(table3))
         print()
-        print(render_figure6(figure6_from_table3(table3)))
+        print(render_figure6(figure6))
         print()
         print(render_comparison(table3))
+
+    if args.json is not None:
+        written = engine.write_artifacts(
+            args.json, table2=table2, table3=table3, figure6=figure6
+        )
+        print(f"\nwrote {', '.join(str(path) for path in written)}")
 
     print(f"\ntotal runtime: {time.time() - start:.1f} s")
     return 0

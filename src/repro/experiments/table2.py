@@ -10,14 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.characterize import (
-    CellCharacterization,
-    FamilySummary,
-    characterize_family,
-)
+from repro.core.characterize import CellCharacterization, FamilySummary
 from repro.core.families import LogicFamily
-from repro.core.library import build_library
-from repro.core.paper_data import PAPER_TABLE2, PAPER_TABLE2_AVERAGES, PaperCellRow
+from repro.core.paper_data import PaperCellRow
 
 #: Mapping from our family enum to the paper_data column keys.
 FAMILY_KEYS = {
@@ -54,29 +49,18 @@ class Table2Result:
         return self.summaries[family].average_area / self.paper_averages[family].area
 
 
-def run_table2(families: tuple[LogicFamily, ...] = TABLE2_FAMILIES) -> Table2Result:
-    """Characterize every requested family and bundle the paper values."""
-    rows: dict[LogicFamily, tuple[CellCharacterization, ...]] = {}
-    summaries: dict[LogicFamily, FamilySummary] = {}
-    paper_rows: dict[LogicFamily, dict[str, PaperCellRow]] = {}
-    paper_averages: dict[LogicFamily, PaperCellRow] = {}
+def run_table2(
+    families: tuple[LogicFamily, ...] = TABLE2_FAMILIES,
+    engine=None,
+) -> Table2Result:
+    """Characterize every requested family and bundle the paper values.
 
-    for family in families:
-        library = build_library(family)
-        family_rows, summary = characterize_family(library)
-        rows[family] = family_rows
-        summaries[family] = summary
-        key = FAMILY_KEYS[family]
-        paper_rows[family] = {
-            function_id: columns[key]
-            for function_id, columns in PAPER_TABLE2.items()
-            if key in columns
-        }
-        paper_averages[family] = PAPER_TABLE2_AVERAGES[key]
+    One characterization job per family is scheduled through the experiment
+    engine (sequential and cache-less by default; pass a configured
+    ``engine`` for parallel execution and on-disk memoization).
+    """
+    from repro.experiments.engine import ExperimentEngine
 
-    return Table2Result(
-        rows=rows,
-        summaries=summaries,
-        paper_rows=paper_rows,
-        paper_averages=paper_averages,
-    )
+    if engine is None:
+        engine = ExperimentEngine(jobs=1, use_cache=False)
+    return engine.run_table2(families=families)

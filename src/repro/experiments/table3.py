@@ -143,19 +143,23 @@ def run_table3(
     families: tuple[LogicFamily, ...] = TABLE3_FAMILIES,
     objective: str = "delay",
     optimize_first: bool = True,
+    engine=None,
 ) -> Table3Result:
-    """Regenerate Table 3 (optionally restricted to a subset of benchmarks)."""
-    cases = BENCHMARKS
-    if benchmark_names is not None:
-        wanted = set(benchmark_names)
-        cases = tuple(case for case in BENCHMARKS if case.name in wanted)
-        missing = wanted - {case.name for case in cases}
-        if missing:
-            raise KeyError(f"unknown benchmarks requested: {sorted(missing)}")
-    result = Table3Result()
-    for case in cases:
-        result.rows.append(
-            map_benchmark(case, families=families, objective=objective,
-                          optimize_first=optimize_first)
-        )
-    return result
+    """Regenerate Table 3 (optionally restricted to a subset of benchmarks).
+
+    Scheduling is delegated to the experiment engine
+    (:class:`repro.experiments.engine.ExperimentEngine`); by default a
+    sequential, cache-less engine is used so library callers see the same
+    pure behaviour as before.  Pass a configured ``engine`` for parallel
+    execution and on-disk memoization.
+    """
+    from repro.experiments.engine import ExperimentEngine
+
+    if engine is None:
+        engine = ExperimentEngine(jobs=1, use_cache=False)
+    return engine.run_table3(
+        benchmark_names=benchmark_names,
+        families=families,
+        objective=objective,
+        optimize_first=optimize_first,
+    )

@@ -14,7 +14,8 @@ six-input cuts) for speed; the matcher converts them to
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.synthesis.aig import Aig, lit_is_complemented, lit_node
 
@@ -40,31 +41,107 @@ for _i in range(6):
 
 @dataclass(frozen=True)
 class Cut:
-    """One cut: sorted leaf nodes and the node function over those leaves."""
+    """One cut: sorted leaf nodes and the node function over those leaves.
+
+    ``support`` is the bitmask of leaf positions the function actually
+    depends on, precomputed at enumeration time so that downstream matching
+    never has to rederive it (``-1`` means "not computed yet"; use
+    :meth:`support_mask`).
+    """
 
     leaves: tuple[int, ...]
     table: int
+    support: int = field(default=-1, compare=False)
 
     @property
     def size(self) -> int:
         return len(self.leaves)
+
+    def support_mask(self) -> int:
+        """Bitmask of leaf positions in the true support of the cut function."""
+        if self.support >= 0:
+            return self.support
+        return table_support(self.table, len(self.leaves))
+
+
+@lru_cache(maxsize=None)
+def _cofactor_mask(num_vars: int, position: int) -> int:
+    """Bits of the negative cofactor of variable ``position`` (periodic mask)."""
+    block = 1 << position
+    chunk = (1 << block) - 1
+    mask = 0
+    for start in range(0, 1 << num_vars, block * 2):
+        mask |= chunk << start
+    return mask
+
+
+@lru_cache(maxsize=1 << 16)
+def table_support(table: int, num_vars: int) -> int:
+    """Bitmask of the variables a raw truth table actually depends on."""
+    mask = 0
+    for position in range(num_vars):
+        low = _cofactor_mask(num_vars, position)
+        if (table & low) != ((table >> (1 << position)) & low):
+            mask |= 1 << position
+    return mask
+
+
+@lru_cache(maxsize=1 << 16)
+def project_table(table: int, num_vars: int, support_mask: int) -> int:
+    """Project a truth table onto the variables named by ``support_mask``.
+
+    Variables outside the mask are removed by keeping their negative
+    cofactor (they must be don't-cares for the projection to preserve the
+    function).  Removal proceeds from the highest position down so lower
+    positions stay valid while the table shrinks.
+    """
+    for position in range(num_vars - 1, -1, -1):
+        if (support_mask >> position) & 1:
+            continue
+        block = 1 << position
+        chunk_mask = (1 << block) - 1
+        rebuilt, shift, rest = 0, 0, table
+        while rest:
+            rebuilt |= (rest & chunk_mask) << shift
+            rest >>= block * 2
+            shift += block
+        table = rebuilt
+    return table
+
+
+@lru_cache(maxsize=1 << 16)
+def _expand_at_positions(table: int, insert_positions: tuple[int, ...]) -> int:
+    """Insert don't-care variables at the given (ascending) positions.
+
+    Each insertion at position ``p`` splits the table into ``2**p``-bit
+    chunks and duplicates every chunk, which is equivalent to the classical
+    per-minterm re-indexing but runs in O(chunks) big-int operations.
+    """
+    for position in insert_positions:
+        block = 1 << position
+        chunk_mask = (1 << block) - 1
+        rebuilt, shift, rest = 0, 0, table
+        while rest:
+            chunk = rest & chunk_mask
+            rebuilt |= (chunk | (chunk << block)) << shift
+            rest >>= block
+            shift += block * 2
+        table = rebuilt
+    return table
 
 
 def _expand_table(table: int, leaves: tuple[int, ...], merged: tuple[int, ...]) -> int:
     """Re-express ``table`` (over ``leaves``) over the superset ``merged``."""
     if leaves == merged:
         return table
-    positions = [merged.index(leaf) for leaf in leaves]
-    size = 1 << len(merged)
-    result = 0
-    for minterm in range(size):
-        old_index = 0
-        for old_pos, new_pos in enumerate(positions):
-            if (minterm >> new_pos) & 1:
-                old_index |= 1 << old_pos
-        if (table >> old_index) & 1:
-            result |= 1 << minterm
-    return result
+    inserts = []
+    leaf_index = 0
+    for position, leaf in enumerate(merged):
+        if leaf_index < len(leaves) and leaves[leaf_index] == leaf:
+            leaf_index += 1
+        else:
+            inserts.append(position)
+    return _expand_at_positions(table, tuple(inserts))
 
 
 def _merge_leaves(a: tuple[int, ...], b: tuple[int, ...], limit: int) -> tuple[int, ...] | None:
@@ -94,9 +171,9 @@ def enumerate_cuts(
 
     cuts: dict[int, list[Cut]] = {}
     # Constant node and primary inputs only have their trivial cut.
-    cuts[0] = [Cut((0,), 0b10)]  # unused in practice
+    cuts[0] = [Cut((0,), 0b10, 0b1)]  # unused in practice
     for pi in aig.pi_nodes():
-        cuts[pi] = [Cut((pi,), 0b10)]
+        cuts[pi] = [Cut((pi,), 0b10, 0b1)]
 
     fanout = aig.fanout_counts()
 
@@ -129,9 +206,12 @@ def enumerate_cuts(
             candidates.items(),
             key=lambda item: (len(item[0]), sum(fanout[l] == 1 for l in item[0])),
         )
-        node_cuts = [Cut(leaves, table) for leaves, table in ranked[:cut_limit]]
+        node_cuts = [
+            Cut(leaves, table, table_support(table, len(leaves)))
+            for leaves, table in ranked[:cut_limit]
+        ]
         # The trivial cut participates in fanout cut merging.
-        node_cuts.append(Cut((node,), 0b10))
+        node_cuts.append(Cut((node,), 0b10, 0b1))
         cuts[node] = node_cuts
 
     return cuts

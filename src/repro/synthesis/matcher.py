@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.cell import LibraryCell
 from repro.core.library import GateLibrary
 from repro.logic.npn import InputMatch
+from repro.synthesis.cuts import project_table, table_support
 
 
 @dataclass(frozen=True)
@@ -85,27 +86,33 @@ class LibraryMatcher:
         return table.get((num_leaves, table_bits))
 
     def match_reduced(
-        self, leaves: tuple[int, ...], table_bits: int, prefer: str = "delay"
+        self,
+        leaves: tuple[int, ...],
+        table_bits: int,
+        prefer: str = "delay",
+        support_mask: int | None = None,
     ) -> tuple[CellMatch, tuple[int, ...], int] | None:
         """Match a cut after projecting its function onto its true support.
 
+        ``support_mask`` is the bitmask of leaf positions the function
+        depends on; pass the mask precomputed during cut enumeration
+        (:attr:`repro.synthesis.cuts.Cut.support`) to skip rederiving it.
         Returns the match, the reduced leaf tuple (in the order seen by the
         matched table) and the reduced table bits, or ``None`` when no cell
         matches.
         """
-        support: list[int] = []
         num_leaves = len(leaves)
-        for position in range(num_leaves):
-            if _depends_on(table_bits, num_leaves, position):
-                support.append(position)
-        if not support:
+        if support_mask is None:
+            support_mask = table_support(table_bits, num_leaves)
+        if support_mask == 0:
             return None
-        if len(support) == num_leaves:
+        if support_mask == (1 << num_leaves) - 1:
             found = self.match(num_leaves, table_bits, prefer)
             if found is None:
                 return None
             return found, leaves, table_bits
-        reduced_bits = _project(table_bits, num_leaves, support)
+        reduced_bits = project_table(table_bits, num_leaves, support_mask)
+        support = [p for p in range(num_leaves) if (support_mask >> p) & 1]
         found = self.match(len(support), reduced_bits, prefer)
         if found is None:
             return None
@@ -163,25 +170,21 @@ def matcher_for(library: GateLibrary, allow_output_negation: bool = True) -> "Li
 
 
 def _depends_on(table: int, num_vars: int, position: int) -> bool:
-    """Whether a raw truth table depends on the variable at ``position``."""
-    block = 1 << position
-    low_mask = 0
-    chunk = (1 << block) - 1
-    for start in range(0, 1 << num_vars, block * 2):
-        low_mask |= chunk << start
-    cofactor0 = table & low_mask
-    cofactor1 = (table >> block) & low_mask
-    return cofactor0 != cofactor1
+    """Whether a raw truth table depends on the variable at ``position``.
+
+    Compatibility wrapper over the cached support computation in
+    :mod:`repro.synthesis.cuts`.
+    """
+    return bool((table_support(table, num_vars) >> position) & 1)
 
 
 def _project(table: int, num_vars: int, support: list[int]) -> int:
-    """Project a truth table onto a subset of its variables."""
-    result = 0
-    for minterm in range(1 << len(support)):
-        old_index = 0
-        for new_pos, old_pos in enumerate(support):
-            if (minterm >> new_pos) & 1:
-                old_index |= 1 << old_pos
-        if (table >> old_index) & 1:
-            result |= 1 << minterm
-    return result
+    """Project a truth table onto a subset of its variables.
+
+    Compatibility wrapper over the cached projection in
+    :mod:`repro.synthesis.cuts`.
+    """
+    mask = 0
+    for position in support:
+        mask |= 1 << position
+    return project_table(table, num_vars, mask)

@@ -1,0 +1,180 @@
+"""Tests for the parallel, cache-aware experiment engine."""
+
+import json
+
+import pytest
+
+from repro.bench.registry import benchmark_by_name
+from repro.core.families import LogicFamily
+from repro.experiments.engine import (
+    CACHE_SCHEMA,
+    CharacterizationJob,
+    ExperimentEngine,
+    MapJob,
+    ResultCache,
+    aig_fingerprint,
+    default_cache_dir,
+    figure6_payload,
+    library_fingerprint,
+    table2_payload,
+    table3_payload,
+)
+from repro.experiments.figure6 import figure6_from_table3
+from repro.experiments.table3 import run_table3
+from repro.core.library import build_library
+
+SUBSET = ("add-16",)
+FAMILIES = (LogicFamily.TG_STATIC, LogicFamily.CMOS)
+
+
+def _jobs():
+    return [MapJob("add-16", family) for family in FAMILIES]
+
+
+def _stats_view(result):
+    return [(row.name, row.aig_nodes, row.aig_depth, row.results) for row in result.rows]
+
+
+class TestFingerprints:
+    def test_aig_fingerprint_is_structural(self):
+        a = benchmark_by_name("add-16").build()
+        b = benchmark_by_name("add-16").build()
+        assert aig_fingerprint(a) == aig_fingerprint(b)
+        c = benchmark_by_name("add-32").build()
+        assert aig_fingerprint(a) != aig_fingerprint(c)
+
+    def test_library_fingerprint_distinguishes_families(self):
+        static = library_fingerprint(build_library(LogicFamily.TG_STATIC))
+        cmos = library_fingerprint(build_library(LogicFamily.CMOS))
+        assert static != cmos
+        assert static == library_fingerprint(build_library(LogicFamily.TG_STATIC))
+
+    def test_job_keys_separate_by_family_and_objective(self, tmp_path):
+        engine = ExperimentEngine(cache_dir=tmp_path)
+        keys = {
+            engine.map_job_key(MapJob("add-16", LogicFamily.TG_STATIC)),
+            engine.map_job_key(MapJob("add-16", LogicFamily.CMOS)),
+            engine.map_job_key(MapJob("add-16", LogicFamily.TG_STATIC, objective="area")),
+            engine.map_job_key(MapJob("add-32", LogicFamily.TG_STATIC)),
+        }
+        assert len(keys) == 4
+
+
+class TestCache:
+    def test_miss_then_hit(self, tmp_path):
+        engine = ExperimentEngine(cache_dir=tmp_path)
+        first = engine.run_map_jobs(_jobs())
+        assert all(not result.cached for result in first.values())
+        assert list(tmp_path.glob("*.json"))
+
+        again = ExperimentEngine(cache_dir=tmp_path).run_map_jobs(_jobs())
+        assert all(result.cached for result in again.values())
+        for job in _jobs():
+            assert first[job].stats == again[job].stats
+            assert first[job].aig_nodes == again[job].aig_nodes
+
+    def test_corrupted_entries_are_recomputed(self, tmp_path):
+        engine = ExperimentEngine(cache_dir=tmp_path)
+        engine.run_map_jobs(_jobs())
+        entries = sorted(tmp_path.glob("*.json"))
+        entries[0].write_text("{ this is not json")
+        entries[1].write_text(json.dumps({"schema": CACHE_SCHEMA + 999, "key": "x", "payload": {}}))
+
+        redone = ExperimentEngine(cache_dir=tmp_path).run_map_jobs(_jobs())
+        assert sum(1 for result in redone.values() if not result.cached) == 2
+        # The corrupted files were overwritten with valid entries.
+        fresh = ExperimentEngine(cache_dir=tmp_path).run_map_jobs(_jobs())
+        assert all(result.cached for result in fresh.values())
+
+    def test_wrong_key_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a" * 64, {"stats": {}})
+        # Rename the entry so its embedded key no longer matches the filename.
+        (tmp_path / ("a" * 64 + ".json")).rename(tmp_path / ("b" * 64 + ".json"))
+        assert cache.get("b" * 64) is None
+
+    def test_disabled_cache_writes_nothing(self, tmp_path):
+        engine = ExperimentEngine(cache_dir=tmp_path, use_cache=False)
+        engine.run_map_jobs(_jobs())
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_default_cache_dir_honours_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "override"))
+        assert default_cache_dir() == tmp_path / "override"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "repro" / "experiments"
+
+
+class TestParallelExecution:
+    def test_parallel_results_bit_identical_to_sequential(self):
+        sequential = ExperimentEngine(jobs=1, use_cache=False).run_table3(
+            benchmark_names=SUBSET
+        )
+        parallel = ExperimentEngine(jobs=3, use_cache=False).run_table3(
+            benchmark_names=SUBSET
+        )
+        assert _stats_view(sequential) == _stats_view(parallel)
+
+    def test_parallel_table2_identical_to_sequential(self):
+        sequential = ExperimentEngine(jobs=1, use_cache=False).run_table2()
+        parallel = ExperimentEngine(jobs=4, use_cache=False).run_table2()
+        assert sequential.summaries == parallel.summaries
+        assert sequential.rows == parallel.rows
+
+    def test_engine_matches_legacy_run_table3(self):
+        legacy = run_table3(benchmark_names=SUBSET)
+        engine = ExperimentEngine(jobs=2, use_cache=False).run_table3(
+            benchmark_names=SUBSET
+        )
+        assert _stats_view(legacy) == _stats_view(engine)
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            ExperimentEngine(use_cache=False).run_table3(benchmark_names=("nope",))
+
+
+class TestTable2Jobs:
+    def test_characterization_cache_round_trip(self, tmp_path):
+        engine = ExperimentEngine(cache_dir=tmp_path)
+        first = engine.run_table2()
+        assert list(tmp_path.glob("*.json"))
+        second = ExperimentEngine(cache_dir=tmp_path).run_table2()
+        assert first.summaries == second.summaries
+        assert first.rows == second.rows
+        assert first.paper_averages == second.paper_averages
+
+    def test_characterization_job_key_stable(self, tmp_path):
+        engine = ExperimentEngine(cache_dir=tmp_path)
+        job = CharacterizationJob(LogicFamily.CMOS)
+        assert engine.characterization_job_key(job) == engine.characterization_job_key(job)
+
+
+class TestArtifacts:
+    def test_write_artifacts_emits_valid_json(self, tmp_path):
+        engine = ExperimentEngine(cache_dir=tmp_path / "cache")
+        table2 = engine.run_table2(families=(LogicFamily.TG_STATIC, LogicFamily.CMOS))
+        table3 = engine.run_table3(benchmark_names=SUBSET)
+        figure6 = figure6_from_table3(table3)
+        written = engine.write_artifacts(
+            tmp_path / "artifacts", table2=table2, table3=table3, figure6=figure6
+        )
+        assert {path.name for path in written} == {
+            "table2.json",
+            "table3.json",
+            "figure6.json",
+        }
+        loaded = {path.name: json.loads(path.read_text()) for path in written}
+        assert "add-16" in {row["name"] for row in loaded["table3.json"]["rows"]}
+        assert LogicFamily.TG_STATIC.value in loaded["table2.json"]["families"]
+        assert loaded["figure6.json"]["series"]["add-16"]["static"] > 1.0
+
+    def test_payload_helpers_are_json_serializable(self, tmp_path):
+        engine = ExperimentEngine(cache_dir=tmp_path)
+        table3 = engine.run_table3(benchmark_names=SUBSET)
+        for payload in (
+            table3_payload(table3),
+            table2_payload(engine.run_table2(families=(LogicFamily.CMOS,))),
+            figure6_payload(figure6_from_table3(table3)),
+        ):
+            assert json.loads(json.dumps(payload)) == payload

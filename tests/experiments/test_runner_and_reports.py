@@ -1,5 +1,7 @@
 """Tests for the experiment runner CLI and the report rendering helpers."""
 
+import json
+
 import pytest
 
 from repro.experiments.runner import main
@@ -9,25 +11,55 @@ from repro.experiments.table2 import run_table2
 
 class TestRunnerCli:
     def test_table2_only_run(self, capsys):
-        exit_code = main(["--skip-table3"])
+        exit_code = main(["--skip-table3", "--no-cache"])
         captured = capsys.readouterr().out
         assert exit_code == 0
         assert "Table 2" in captured
         assert "CNTFET TG static" in captured
         assert "total runtime" in captured
 
-    def test_subset_run_includes_table3_and_figure6(self, capsys):
-        exit_code = main(["add-16"])
+    def test_subset_run_includes_table3_and_figure6(self, capsys, tmp_path):
+        exit_code = main(["add-16", "--cache-dir", str(tmp_path)])
         captured = capsys.readouterr().out
         assert exit_code == 0
         assert "Table 3" in captured
         assert "Figure 6" in captured
         assert "add-16" in captured
         assert "[ok]" in captured
+        # The run populated the content-addressed cache.
+        assert list(tmp_path.glob("*.json"))
+
+    def test_parallel_jobs_and_json_artifacts(self, capsys, tmp_path):
+        artifacts = tmp_path / "artifacts"
+        exit_code = main(
+            [
+                "add-16",
+                "--jobs",
+                "2",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--json",
+                str(artifacts),
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "wrote" in captured
+        for name in ("table2.json", "table3.json", "figure6.json"):
+            payload = json.loads((artifacts / name).read_text())
+            assert payload
+
+    def test_skip_table3_writes_no_table3_artifact(self, capsys, tmp_path):
+        artifacts = tmp_path / "artifacts"
+        exit_code = main(["--skip-table3", "--no-cache", "--json", str(artifacts)])
+        capsys.readouterr()
+        assert exit_code == 0
+        assert (artifacts / "table2.json").exists()
+        assert not (artifacts / "table3.json").exists()
 
     def test_unknown_benchmark_raises(self):
         with pytest.raises(KeyError):
-            main(["not-a-benchmark"])
+            main(["not-a-benchmark", "--no-cache"])
 
 
 class TestReportDetails:
