@@ -14,7 +14,7 @@ from repro.core.families import LogicFamily, build_family_cells
 from repro.core.library import build_library
 from repro.synthesis.cuts import enumerate_cuts
 from repro.synthesis.mapper import technology_map
-from repro.synthesis.matcher import LibraryMatcher
+from repro.synthesis.matcher import ExhaustiveLibraryMatcher, LibraryMatcher
 from repro.synthesis.optimize import balance, optimize, rewrite
 
 
@@ -30,9 +30,18 @@ def test_bench_library_construction(benchmark):
 
 
 def test_bench_matcher_construction(benchmark):
-    """Enumerate the permutation/phase match tables of the static library."""
+    """Build the NPN-canonical match index of the static library."""
     library = build_library(LogicFamily.TG_STATIC)
     matcher = benchmark(LibraryMatcher, library)
+    # One entry per matched canonical class -- tiny compared to the
+    # pre-expanded tables (see test_bench_exhaustive_matcher_construction).
+    assert 0 < len(matcher) <= len(library)
+
+
+def test_bench_exhaustive_matcher_construction(benchmark):
+    """Enumerate the permutation/phase match tables (reference matcher)."""
+    library = build_library(LogicFamily.TG_STATIC)
+    matcher = benchmark(ExhaustiveLibraryMatcher, library)
     assert len(matcher) > 1000
 
 

@@ -1,0 +1,88 @@
+"""Benchmark: NPN-canonical matching vs. the exhaustive reference matcher.
+
+Times the two matcher constructions and a full K=6 technology mapping
+through each, asserting the wins the canonical index exists for: an index
+at least 10x smaller, a faster build, and bit-identical mapping statistics.
+A flow benchmark times the named synthesis flows through the pass manager
+on a mid-size benchmark.  Results are exported as pytest-benchmark JSON by
+the nightly CI job (see ``.github/workflows/ci.yml``).
+"""
+
+import time
+
+import pytest
+
+from repro.bench.registry import benchmark_by_name
+from repro.core.families import LogicFamily
+from repro.core.library import build_library
+from repro.flow import available_flows, run_flow
+from repro.synthesis.mapper import technology_map
+from repro.synthesis.matcher import ExhaustiveLibraryMatcher, LibraryMatcher
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def static_library():
+    return build_library(LogicFamily.TG_STATIC)
+
+
+@pytest.fixture(scope="module")
+def subject_aig():
+    return run_flow("resyn2rs", benchmark_by_name("C1908").build()).aig
+
+
+def test_bench_matcher_build_npn_vs_exhaustive(benchmark, static_library):
+    """Canonical index: >=10x fewer entries and a faster build."""
+    start = time.perf_counter()
+    exhaustive = ExhaustiveLibraryMatcher(static_library)
+    exhaustive_seconds = time.perf_counter() - start
+
+    npn = benchmark(LibraryMatcher, static_library)
+    npn_seconds = benchmark.stats.stats.mean
+
+    assert len(npn) * 10 <= len(exhaustive), (
+        f"canonical index ({len(npn)} entries) not >=10x smaller than the "
+        f"exhaustive tables ({len(exhaustive)} entries)"
+    )
+    assert npn_seconds < exhaustive_seconds, (
+        f"canonical build ({npn_seconds:.3f}s) not faster than exhaustive "
+        f"({exhaustive_seconds:.3f}s)"
+    )
+
+
+def test_bench_k6_mapping_npn_vs_exhaustive(benchmark, static_library, subject_aig):
+    """Full K=6 mapping through both matchers must agree bit for bit."""
+    exhaustive = ExhaustiveLibraryMatcher(static_library)
+    start = time.perf_counter()
+    reference = technology_map(
+        subject_aig, static_library, matcher=exhaustive, max_inputs=6
+    )
+    exhaustive_seconds = time.perf_counter() - start
+
+    npn = LibraryMatcher(static_library)
+    mapped = benchmark(
+        technology_map, subject_aig, static_library, npn, max_inputs=6
+    )
+    npn_seconds = benchmark.stats.stats.mean
+
+    assert mapped.statistics() == reference.statistics()
+    assert [gate.cell_name for gate in mapped.gates] == [
+        gate.cell_name for gate in reference.gates
+    ]
+    # The canonical path canonicalizes each distinct cut function once
+    # (memoized); it must stay in the same ballpark as the raw lookup.
+    assert npn_seconds < 5 * exhaustive_seconds, (
+        f"canonical mapping ({npn_seconds:.3f}s) more than 5x slower than "
+        f"exhaustive lookup ({exhaustive_seconds:.3f}s)"
+    )
+
+
+@pytest.mark.parametrize("flow", sorted(available_flows()))
+def test_bench_named_flows(benchmark, flow):
+    """Per-flow optimization time on a mid-size benchmark (pass telemetry on)."""
+    aig = benchmark_by_name("C1355").build()
+    result = benchmark(run_flow, flow, aig)
+    assert result.aig.num_ands > 0
+    if flow != "none":
+        assert result.passes

@@ -3,7 +3,8 @@
 This walks through the three core steps of the reproduction:
 
 1. build and characterize the static transmission-gate library (Table 2);
-2. describe a small circuit (a 2-bit adder) and optimize it;
+2. describe a small circuit (a 2-bit adder) and optimize it with a named
+   synthesis flow (the paper's ``resyn2rs``, with per-pass telemetry);
 3. map it onto the CNTFET library and onto the CMOS reference library and
    compare the Table-3 style statistics.
 
@@ -11,7 +12,8 @@ Run with:  python examples/quickstart.py
 """
 
 from repro.core import LogicFamily, build_library
-from repro.synthesis import CircuitBuilder, optimize, technology_map
+from repro.flow import run_flow
+from repro.synthesis import CircuitBuilder, technology_map
 
 
 def main() -> None:
@@ -28,15 +30,21 @@ def main() -> None:
           f"{xnor.transistor_count} transistors, area {xnor.area:.2f}, "
           f"FO4 {xnor.delay.fo4_average:.1f} (faster than the inverter!)")
 
-    # 2. Describe a 2-bit adder with the circuit builder and optimize it.
+    # 2. Describe a 2-bit adder with the circuit builder and run the paper's
+    #    synthesis flow on it (try "quick" or "deep" -- see
+    #    `python -m repro.experiments.runner --list-flows`).
     builder = CircuitBuilder("adder2")
     a = builder.input_bus("a", 2)
     b = builder.input_bus("b", 2)
     total, carry = builder.ripple_adder(a, b)
     builder.output_bus("sum", total)
     builder.output("cout", carry)
-    aig = optimize(builder.finish())
-    print(f"\nSubject circuit: {aig.num_ands} AND nodes, depth {aig.depth()}")
+    flow_result = run_flow("resyn2rs", builder.finish())
+    aig = flow_result.aig
+    print(f"\nFlow {flow_result.flow!r} ({flow_result.seconds * 1000:.1f} ms):")
+    for line in flow_result.telemetry_lines():
+        print(f"  {line}")
+    print(f"Subject circuit: {aig.num_ands} AND nodes, depth {aig.depth()}")
 
     # 3. Map onto both libraries and compare.
     for library in (cntfet, cmos):

@@ -54,15 +54,16 @@ from repro.experiments.table3 import (
     Table3Row,
     _paper_row,
 )
+from repro.flow import DEFAULT_FLOW, get_flow, resolve_flow, run_flow
 from repro.synthesis.aig import Aig
 from repro.synthesis.cuts import DEFAULT_CUT_LIMIT, DEFAULT_MAX_INPUTS
 from repro.synthesis.mapper import technology_map
 from repro.synthesis.matcher import matcher_for
-from repro.synthesis.optimize import optimize
 
 #: Bump when the meaning of cached payloads changes; old entries are then
-#: treated as misses and recomputed.
-CACHE_SCHEMA = 1
+#: treated as misses and recomputed.  Schema 2: mapping jobs are keyed by
+#: synthesis-flow name + flow fingerprint instead of the optimize_first flag.
+CACHE_SCHEMA = 2
 
 
 def default_cache_dir() -> Path:
@@ -118,12 +119,12 @@ def _family_fingerprint(family: LogicFamily) -> str:
 
 @dataclass(frozen=True)
 class MapJob:
-    """One (benchmark, library, objective) unit of Table-3 work."""
+    """One (benchmark, library, objective, flow) unit of Table-3 work."""
 
     benchmark: str
     family: LogicFamily
     objective: str = "delay"
-    optimize_first: bool = True
+    flow: str = DEFAULT_FLOW
     max_inputs: int = DEFAULT_MAX_INPUTS
     cut_limit: int = DEFAULT_CUT_LIMIT
 
@@ -133,7 +134,7 @@ class MapJob:
             self.benchmark,
             self.family.value,
             self.objective,
-            self.optimize_first,
+            self.flow,
             self.max_inputs,
             self.cut_limit,
         )
@@ -198,27 +199,36 @@ class ResultCache:
         os.replace(tmp, path)
 
 
-# Per-process memo of optimized benchmark AIGs so the three family jobs of
-# one benchmark that land in the same process optimize only once.
-_OPTIMIZED_AIGS: dict[tuple[str, bool], Aig] = {}
+# Per-process memo of flow-optimized benchmark AIGs so the three family jobs
+# of one benchmark that land in the same process run the flow only once.
+_OPTIMIZED_AIGS: dict[tuple[str, str], Aig] = {}
 
 
-def _subject_aig(benchmark: str, optimize_first: bool) -> Aig:
-    key = (benchmark, optimize_first)
+def _subject_aig(benchmark: str, flow: str) -> Aig:
+    key = (benchmark, flow)
     cached = _OPTIMIZED_AIGS.get(key)
     if cached is None:
-        cached = benchmark_by_name(benchmark).build()
-        if optimize_first:
-            cached = optimize(cached)
+        try:
+            result = run_flow(flow, benchmark_by_name(benchmark).build())
+        except KeyError as error:
+            # Worker processes started via spawn/forkserver re-import modules
+            # and only see flows registered at import time; surface that
+            # instead of a bare KeyError from the registry.
+            raise RuntimeError(
+                f"flow {flow!r} is not registered in this worker process; "
+                "custom flows must be registered from an imported module (or "
+                "use jobs=1) for parallel runs"
+            ) from error
+        cached = result.aig
         _OPTIMIZED_AIGS[key] = cached
     return cached
 
 
 def _run_map_job(spec: tuple) -> dict:
     """Execute one mapping job (worker-side; must stay picklable/pure)."""
-    benchmark, family_value, objective, optimize_first, max_inputs, cut_limit = spec
+    benchmark, family_value, objective, flow, max_inputs, cut_limit = spec
     family = LogicFamily(family_value)
-    aig = _subject_aig(benchmark, optimize_first)
+    aig = _subject_aig(benchmark, flow)
     library = build_library(family)
     mapped = technology_map(
         aig,
@@ -332,7 +342,8 @@ class ExperimentEngine:
                 "aig": aig_fingerprint(aig),
                 "library": _family_fingerprint(job.family),
                 "objective": job.objective,
-                "optimize_first": job.optimize_first,
+                "flow": job.flow,
+                "flow_spec": get_flow(job.flow).fingerprint(),
                 "max_inputs": job.max_inputs,
                 "cut_limit": job.cut_limit,
             },
@@ -383,10 +394,19 @@ class ExperimentEngine:
         benchmark_names: tuple[str, ...] | None = None,
         families: tuple[LogicFamily, ...] = TABLE3_FAMILIES,
         objective: str = "delay",
+        flow: str = DEFAULT_FLOW,
         optimize_first: bool = True,
     ) -> Table3Result:
-        """Regenerate Table 3 through the job engine."""
+        """Regenerate Table 3 through the job engine.
+
+        ``flow`` names the registered technology-independent flow run before
+        mapping; ``optimize_first=False`` is shorthand for the ``none`` flow
+        (kept for backward compatibility) and is rejected when combined with
+        an explicitly selected flow.
+        """
         from repro.bench.registry import BENCHMARKS
+
+        flow_name = resolve_flow(flow, optimize_first)
 
         cases = BENCHMARKS
         if benchmark_names is not None:
@@ -397,20 +417,19 @@ class ExperimentEngine:
                 raise KeyError(f"unknown benchmarks requested: {sorted(missing)}")
 
         jobs = [
-            MapJob(case.name, family, objective=objective, optimize_first=optimize_first)
+            MapJob(case.name, family, objective=objective, flow=flow_name)
             for case in cases
             for family in families
         ]
         by_job = self.run_map_jobs(jobs)
 
-        result = Table3Result()
+        result = Table3Result(flow=flow_name)
         for case in cases:
             stats: dict[LogicFamily, MappingStats] = {}
             aig_nodes = aig_depth = 0
             for family in families:
                 job_result = by_job[
-                    MapJob(case.name, family, objective=objective,
-                           optimize_first=optimize_first)
+                    MapJob(case.name, family, objective=objective, flow=flow_name)
                 ]
                 stats[family] = job_result.stats
                 aig_nodes = job_result.aig_nodes
@@ -524,6 +543,7 @@ def table2_payload(result: Table2Result) -> dict:
 def table3_payload(result: Table3Result) -> dict:
     """JSON-ready view of a Table-3 result."""
     return {
+        "flow": result.flow,
         "rows": [
             {
                 "name": row.name,

@@ -26,6 +26,13 @@ Scheduling goes through the parallel experiment engine
 ``--json DIR``
     Additionally write machine-readable ``table2.json`` / ``table3.json`` /
     ``figure6.json`` artifacts into ``DIR``.
+
+``--flow NAME`` / ``--list-flows``
+    Select the technology-independent synthesis flow run before mapping
+    (default: ``resyn2rs``, the paper's flow).  The flow name and the flow's
+    pass-pipeline fingerprint are folded into the cache key, so results
+    computed under one flow never satisfy requests for another.
+    ``--list-flows`` prints every registered flow and exits.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ import sys
 import time
 
 from repro.experiments.engine import ExperimentEngine
+from repro.flow import DEFAULT_FLOW, available_flows, get_flow
 from repro.experiments.figure6 import figure6_from_table3
 from repro.experiments.report import (
     render_comparison,
@@ -85,7 +93,29 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also write table2.json/table3.json/figure6.json into DIR",
     )
+    parser.add_argument(
+        "--flow",
+        metavar="NAME",
+        default=DEFAULT_FLOW,
+        help="synthesis flow run before mapping (see --list-flows; "
+        f"default: {DEFAULT_FLOW})",
+    )
+    parser.add_argument(
+        "--list-flows",
+        action="store_true",
+        help="print the registered synthesis flows and exit",
+    )
     args = parser.parse_args(argv)
+
+    if args.list_flows:
+        for name in available_flows():
+            spec = get_flow(name)
+            passes = ", ".join(spec.pass_names()) or "(identity)"
+            print(f"{name:<10} {spec.description}")
+            print(f"{'':<10}   passes: {passes}; max rounds: {spec.max_rounds}")
+        return 0
+
+    get_flow(args.flow)  # reject unknown flows before doing any work
 
     engine = ExperimentEngine(
         jobs=args.jobs,
@@ -101,8 +131,9 @@ def main(argv: list[str] | None = None) -> int:
     table3 = figure6 = None
     if not args.skip_table3:
         names = tuple(args.benchmarks) if args.benchmarks else None
-        table3 = engine.run_table3(benchmark_names=names)
+        table3 = engine.run_table3(benchmark_names=names, flow=args.flow)
         figure6 = figure6_from_table3(table3)
+        print(f"[flow: {args.flow}]")
         print(render_table3(table3))
         print()
         print(render_figure6(figure6))

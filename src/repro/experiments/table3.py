@@ -16,10 +16,10 @@ from repro.bench.registry import BENCHMARKS, BenchmarkCase
 from repro.core.families import LogicFamily
 from repro.core.library import build_library
 from repro.core.paper_data import PAPER_TABLE3, PaperBenchmark, PaperBenchmarkRow
+from repro.flow import DEFAULT_FLOW, resolve_flow, run_flow
 from repro.synthesis.aig import Aig
 from repro.synthesis.mapper import MappedCircuit, technology_map
 from repro.synthesis.matcher import matcher_for
-from repro.synthesis.optimize import optimize
 
 #: The three libraries compared in Table 3.
 TABLE3_FAMILIES = (
@@ -81,6 +81,9 @@ class Table3Result:
     """All measured Table-3 rows plus aggregate statistics."""
 
     rows: list[Table3Row] = field(default_factory=list)
+    #: Name of the synthesis flow the rows were produced under (recorded in
+    #: the JSON artifacts so archived flow-sweep results stay tellable apart).
+    flow: str = "resyn2rs"
 
     def row(self, name: str) -> Table3Row:
         for row in self.rows:
@@ -118,11 +121,15 @@ def map_benchmark(
     families: tuple[LogicFamily, ...] = TABLE3_FAMILIES,
     objective: str = "delay",
     optimize_first: bool = True,
+    flow: str = DEFAULT_FLOW,
 ) -> Table3Row:
-    """Run the full flow (generate, optimize, map onto each family) for one benchmark."""
-    aig: Aig = case.build()
-    if optimize_first:
-        aig = optimize(aig)
+    """Run the full flow (generate, optimize, map onto each family) for one benchmark.
+
+    ``flow`` names the registered synthesis flow (see :mod:`repro.flow`);
+    ``optimize_first=False`` is shorthand for the ``none`` flow and is
+    rejected when combined with an explicitly selected flow.
+    """
+    aig: Aig = run_flow(resolve_flow(flow, optimize_first), case.build()).aig
     results: dict[LogicFamily, MappingStats] = {}
     for family in families:
         library = build_library(family)
@@ -143,6 +150,7 @@ def run_table3(
     families: tuple[LogicFamily, ...] = TABLE3_FAMILIES,
     objective: str = "delay",
     optimize_first: bool = True,
+    flow: str = DEFAULT_FLOW,
     engine=None,
 ) -> Table3Result:
     """Regenerate Table 3 (optionally restricted to a subset of benchmarks).
@@ -151,7 +159,8 @@ def run_table3(
     (:class:`repro.experiments.engine.ExperimentEngine`); by default a
     sequential, cache-less engine is used so library callers see the same
     pure behaviour as before.  Pass a configured ``engine`` for parallel
-    execution and on-disk memoization.
+    execution and on-disk memoization, and ``flow`` to select the
+    technology-independent synthesis flow.
     """
     from repro.experiments.engine import ExperimentEngine
 
@@ -161,5 +170,6 @@ def run_table3(
         benchmark_names=benchmark_names,
         families=families,
         objective=objective,
+        flow=flow,
         optimize_first=optimize_first,
     )

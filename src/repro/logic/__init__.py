@@ -24,8 +24,13 @@ from repro.logic.expr import (
     parse_expr,
 )
 from repro.logic.npn import (
+    InputMatch,
     all_input_permutation_phase_tables,
+    apply_match,
+    compose_matches,
+    invert_match,
     npn_canonical,
+    npn_canonicalize,
     p_canonical,
 )
 
@@ -39,7 +44,12 @@ __all__ = [
     "Or",
     "Xor",
     "parse_expr",
+    "InputMatch",
     "all_input_permutation_phase_tables",
+    "apply_match",
+    "compose_matches",
+    "invert_match",
     "npn_canonical",
+    "npn_canonicalize",
     "p_canonical",
 ]

@@ -7,22 +7,40 @@ obtained by swapping signal polarities at the transmission gates; we model
 that freedom by matching modulo input permutation and input/output
 complementation (NPN equivalence).
 
-Two services are provided:
+Three services are provided:
 
 * :func:`all_input_permutation_phase_tables` enumerates every table obtained
   from a base function by permuting and/or complementing inputs (and
-  optionally the output).  The matcher pre-computes these for every library
-  cell and stores them in a dictionary keyed by the raw table bits, so that a
-  cut function is matched with a single dictionary lookup.
-* :func:`npn_canonical` computes a canonical representative (by exhaustive
-  search, practical up to 6 inputs) used to group functions into equivalence
-  classes in tests and analyses.
+  optionally the output).  Retained as the reference enumeration; the
+  canonical matcher no longer pre-expands these dictionaries.
+* :func:`npn_canonicalize` computes the canonical representative of a
+  function's NPN (or NP) class *together with the witnessing transform*, so
+  two functions can be matched by canonicalizing each side and composing the
+  transforms (:func:`compose_matches`, :func:`invert_match`).  The search is
+  exact (minimum over the full orbit) but vectorized with numpy, and the
+  raw-bits entry point :func:`canonicalize_bits` is memoized, which is what
+  makes canonical matching practical in the mapper's inner loop.
+* :func:`npn_canonical` / :func:`p_canonical` return only the canonical
+  table, used to group functions into equivalence classes in tests and
+  analyses.  The brute-force search is kept as
+  :func:`npn_canonical_exhaustive` and cross-checked against the fast path
+  by the unit tests.
+
+A transform is an :class:`InputMatch` ``t`` applied as ``apply_match(f, t) =
+[~] f.apply_phase(t.phase).permute_inputs(t.permutation)``: evaluated at
+``z``, that is ``g(z) = (~)^out f(sigma(z) ^ phase)`` where ``sigma`` places
+input ``j`` of ``g`` at position ``t.permutation[j]`` of ``f``.  Transforms
+form a group under :func:`compose_matches` with inverses given by
+:func:`invert_match`.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from itertools import permutations
 from typing import Iterator, NamedTuple
+
+import numpy as np
 
 from repro.logic.truth_table import TruthTable
 
@@ -92,8 +110,21 @@ def p_canonical(table: TruthTable) -> TruthTable:
 def npn_canonical(table: TruthTable) -> TruthTable:
     """Canonical representative under input negation, permutation and output negation.
 
-    Exhaustive search over ``2 * n! * 2**n`` candidates; intended for
-    functions with at most 6 inputs (library cells and mapping cuts).
+    Delegates to the vectorized exact canonicalizer
+    (:func:`canonicalize_bits`); intended for functions with at most 6
+    inputs (library cells and mapping cuts).
+    """
+    n = table.num_vars
+    if n > 6:
+        raise ValueError("npn_canonical is limited to 6 inputs")
+    bits, _perm, _phase, _neg = canonicalize_bits(table.bits, n, True)
+    return TruthTable(n, bits)
+
+
+def npn_canonical_exhaustive(table: TruthTable) -> TruthTable:
+    """Brute-force reference for :func:`npn_canonical` (oracle for tests).
+
+    Exhaustive search over ``2 * n! * 2**n`` candidates.
     """
     n = table.num_vars
     if n > 6:
@@ -116,3 +147,139 @@ def npn_equivalent(a: TruthTable, b: TruthTable) -> bool:
     if a.num_vars != b.num_vars:
         return False
     return npn_canonical(a) == npn_canonical(b)
+
+
+# -- transform algebra -------------------------------------------------------
+
+
+def apply_match(table: TruthTable, match: InputMatch) -> TruthTable:
+    """Apply a transform: phase the inputs, permute them, maybe negate the output.
+
+    This is the single definition of what an :class:`InputMatch` *means*;
+    :func:`enumerate_permutation_phase` yields pairs satisfying
+    ``apply_match(base, match) == reachable`` and the canonical matcher relies
+    on the same convention.
+    """
+    result = table.apply_phase(match.phase).permute_inputs(match.permutation)
+    return ~result if match.output_negated else result
+
+
+def invert_match(match: InputMatch) -> InputMatch:
+    """The transform undoing ``match``: ``apply_match(apply_match(f, m), invert_match(m)) == f``."""
+    n = len(match.permutation)
+    inverse_perm = [0] * n
+    for new_position, old_position in enumerate(match.permutation):
+        inverse_perm[old_position] = new_position
+    phase = 0
+    for j in range(n):
+        if (match.phase >> match.permutation[j]) & 1:
+            phase |= 1 << j
+    return InputMatch(tuple(inverse_perm), phase, match.output_negated)
+
+
+def compose_matches(first: InputMatch, second: InputMatch) -> InputMatch:
+    """The transform applying ``first`` then ``second``.
+
+    ``apply_match(f, compose_matches(a, b)) == apply_match(apply_match(f, a), b)``.
+    """
+    n = len(first.permutation)
+    if len(second.permutation) != n:
+        raise ValueError("cannot compose transforms of different arities")
+    permutation = tuple(first.permutation[second.permutation[j]] for j in range(n))
+    # first's sigma applied to second's phase: bit j lands at first.permutation[j].
+    phase = first.phase
+    for j in range(n):
+        if (second.phase >> j) & 1:
+            phase ^= 1 << first.permutation[j]
+    return InputMatch(
+        permutation, phase, first.output_negated != second.output_negated
+    )
+
+
+# -- fast exact canonicalization ---------------------------------------------
+
+# Per-arity candidate machinery: the list of input permutations and the index
+# matrix IDX of shape (n! * 2**n, 2**n) with IDX[p * 2**n + phase, z] =
+# sigma_p(z) ^ phase, so that gathering a function's output column through a
+# row yields the column of the transformed function for that (perm, phase).
+_CANDIDATE_CACHE: dict[int, tuple[list[tuple[int, ...]], "np.ndarray"]] = {}
+
+
+def _candidate_matrix(num_vars: int) -> tuple[list[tuple[int, ...]], "np.ndarray"]:
+    cached = _CANDIDATE_CACHE.get(num_vars)
+    if cached is not None:
+        return cached
+    perms = list(permutations(range(num_vars)))
+    size = 1 << num_vars
+    assignments = np.arange(size, dtype=np.int64)
+    sigma = np.zeros((len(perms), size), dtype=np.uint8)
+    for row, perm in enumerate(perms):
+        placed = np.zeros(size, dtype=np.int64)
+        for j, target in enumerate(perm):
+            placed |= ((assignments >> j) & 1) << target
+        sigma[row] = placed
+    phases = np.arange(size, dtype=np.uint8)
+    index = (sigma[:, None, :] ^ phases[None, :, None]).reshape(-1, size)
+    _CANDIDATE_CACHE[num_vars] = (perms, index)
+    return perms, index
+
+
+def _min_variant(bits: int, num_vars: int) -> tuple[int, tuple[int, ...], int]:
+    """Minimum table over all input permutations/phases, with its witness."""
+    size = 1 << num_vars
+    perms, index = _candidate_matrix(num_vars)
+    column = np.unpackbits(
+        np.frombuffer(bits.to_bytes(8, "little"), dtype=np.uint8), bitorder="little"
+    )[:size]
+    candidates = column[index]
+    packed = np.packbits(candidates, axis=1, bitorder="little")
+    if packed.shape[1] < 8:
+        packed = np.pad(packed, ((0, 0), (0, 8 - packed.shape[1])))
+    values = np.ascontiguousarray(packed).reshape(-1).view(np.dtype("<u8"))
+    row = int(values.argmin())
+    perm_index, phase = divmod(row, size)
+    return int(values[row]), perms[perm_index], phase
+
+
+@lru_cache(maxsize=1 << 16)
+def canonicalize_bits(
+    bits: int, num_vars: int, include_output_negation: bool = True
+) -> tuple[int, tuple[int, ...], int, bool]:
+    """Exact canonical form of a raw truth table, with the witnessing transform.
+
+    Returns ``(canonical_bits, permutation, phase, output_negated)`` such
+    that applying ``InputMatch(permutation, phase, output_negated)`` to the
+    input table yields the canonical table (the minimum integer over the
+    whole NPN orbit, or the NP orbit when ``include_output_negation`` is
+    false).  Memoized: mapping runs canonicalize the same cut functions over
+    and over, so repeated calls are dictionary hits.
+    """
+    if num_vars > 6:
+        raise ValueError("canonicalize_bits is limited to 6 inputs")
+    full = (1 << (1 << num_vars)) - 1
+    bits &= full
+    best, perm, phase = _min_variant(bits, num_vars)
+    output_negated = False
+    if include_output_negation:
+        negated_best, negated_perm, negated_phase = _min_variant(
+            bits ^ full, num_vars
+        )
+        if negated_best < best:
+            best, perm, phase = negated_best, negated_perm, negated_phase
+            output_negated = True
+    return best, perm, phase, output_negated
+
+
+def npn_canonicalize(
+    table: TruthTable, include_output_negation: bool = True
+) -> tuple[TruthTable, InputMatch]:
+    """Canonical representative plus the transform reaching it.
+
+    ``apply_match(table, transform) == canonical`` always holds for the
+    returned pair; the canonical table is invariant over the whole
+    equivalence class (NPN, or NP when output negation is excluded).
+    """
+    bits, perm, phase, output_negated = canonicalize_bits(
+        table.bits, table.num_vars, include_output_negation
+    )
+    return TruthTable(table.num_vars, bits), InputMatch(perm, phase, output_negated)

@@ -27,7 +27,7 @@ from repro.synthesis.builder import CircuitBuilder
 from repro.synthesis.blif import read_blif, write_blif
 from repro.synthesis.optimize import optimize, balance, rewrite
 from repro.synthesis.cuts import enumerate_cuts
-from repro.synthesis.matcher import LibraryMatcher
+from repro.synthesis.matcher import ExhaustiveLibraryMatcher, LibraryMatcher
 from repro.synthesis.mapper import MappedCircuit, technology_map
 
 __all__ = [
@@ -40,6 +40,7 @@ __all__ = [
     "balance",
     "rewrite",
     "enumerate_cuts",
+    "ExhaustiveLibraryMatcher",
     "LibraryMatcher",
     "MappedCircuit",
     "technology_map",

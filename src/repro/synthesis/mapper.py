@@ -4,7 +4,7 @@ The mapper follows the classical two-phase scheme used by ABC's ``map``
 command:
 
 1. **Matching / dynamic programming.**  Priority cuts are enumerated for every
-   AND node and matched against the library
+   AND node and matched against the library through the NPN-canonical index
    (:class:`~repro.synthesis.matcher.LibraryMatcher`).  A forward pass then
    computes, for every node, the best arrival time (delay mode) or the best
    area flow (area mode) over its matched cuts.
@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 from repro.core.library import GateLibrary
 from repro.synthesis.aig import Aig, lit_node
 from repro.synthesis.cuts import Cut, DEFAULT_CUT_LIMIT, DEFAULT_MAX_INPUTS, enumerate_cuts
-from repro.synthesis.matcher import CellMatch, LibraryMatcher, matcher_for
+from repro.synthesis.matcher import CellMatch, _MatcherBase, matcher_for
 
 
 @dataclass(frozen=True)
@@ -113,7 +113,7 @@ class MappingError(RuntimeError):
 def technology_map(
     aig: Aig,
     library: GateLibrary,
-    matcher: LibraryMatcher | None = None,
+    matcher: _MatcherBase | None = None,
     objective: str = "delay",
     max_inputs: int = DEFAULT_MAX_INPUTS,
     cut_limit: int = DEFAULT_CUT_LIMIT,

@@ -1,9 +1,26 @@
 """Boolean matching of cut functions against a gate library.
 
-For every library cell the matcher pre-computes every truth table reachable
-from the cell's Table-1 function by permuting inputs, complementing inputs and
-complementing the output, and stores them in a dictionary keyed by
-``(arity, table bits)``.  Matching a cut is then a single dictionary lookup.
+Two matcher implementations share one interface (``match`` /
+``match_reduced`` / ``len``):
+
+* :class:`LibraryMatcher` -- the default **NPN-canonical index**.  Every
+  library cell is canonicalized once (:func:`repro.logic.npn.npn_canonicalize`)
+  and the index stores a single entry per ``(arity, canonical class)``.  A
+  cut is matched by canonicalizing its function (memoized) and composing the
+  cut's canonicalizing transform with the cell's stored transform, which
+  yields exactly the pin assignment the exhaustive matcher would have looked
+  up -- with orders of magnitude fewer index entries and no permutation/phase
+  pre-expansion at build time.
+* :class:`ExhaustiveLibraryMatcher` -- the original scheme, retained as the
+  reference implementation and for the matcher benchmarks: for every cell it
+  pre-computes every truth table reachable by permuting inputs,
+  complementing inputs and complementing the output, keyed by the raw table
+  bits.
+
+Both matchers resolve ties between equally good cells by a stable
+``(cost, cell name)`` order, so the selected cell -- and therefore every
+downstream artifact -- is bit-identical across runs, hash seeds and matcher
+implementations.
 
 The input/output phase freedom models the paper's statement that the mapping
 tool is aware of the extra gates obtained by swapping the signal polarities at
@@ -20,7 +37,12 @@ import numpy as np
 
 from repro.core.cell import LibraryCell
 from repro.core.library import GateLibrary
-from repro.logic.npn import InputMatch
+from repro.logic.npn import (
+    InputMatch,
+    canonicalize_bits,
+    compose_matches,
+    invert_match,
+)
 from repro.synthesis.cuts import project_table, table_support
 
 
@@ -40,50 +62,25 @@ class CellMatch:
         return self.cell.delay.fo4_average
 
 
-class LibraryMatcher:
-    """Pre-computed permutation/phase match tables for one library."""
+def _area_order(candidate: CellMatch) -> tuple[float, float, str]:
+    """Stable total order for area-optimal selection (ties -> cell name)."""
+    return (candidate.area, candidate.delay, candidate.cell.name)
 
-    def __init__(self, library: GateLibrary, allow_output_negation: bool = True) -> None:
-        self.library = library
-        self._by_area: dict[tuple[int, int], CellMatch] = {}
-        self._by_delay: dict[tuple[int, int], CellMatch] = {}
-        self._build(allow_output_negation)
 
-    def _build(self, allow_output_negation: bool) -> None:
-        for cell in self.library.cells:
-            tables = _fast_permutation_phase_tables(
-                cell.function.bits, cell.arity, allow_output_negation
-            )
-            for bits, match in tables.items():
-                key = (cell.arity, bits)
-                candidate = CellMatch(cell, match)
-                best_area = self._by_area.get(key)
-                if best_area is None or candidate.area < best_area.area - 1e-12 or (
-                    abs(candidate.area - best_area.area) < 1e-12
-                    and candidate.delay < best_area.delay
-                ):
-                    self._by_area[key] = candidate
-                best_delay = self._by_delay.get(key)
-                if best_delay is None or candidate.delay < best_delay.delay - 1e-12 or (
-                    abs(candidate.delay - best_delay.delay) < 1e-12
-                    and candidate.area < best_delay.area
-                ):
-                    self._by_delay[key] = candidate
+def _delay_order(candidate: CellMatch) -> tuple[float, float, str]:
+    """Stable total order for delay-optimal selection (ties -> cell name)."""
+    return (candidate.delay, candidate.area, candidate.cell.name)
 
-    def __len__(self) -> int:
-        return len(self._by_area)
+
+class _MatcherBase:
+    """The lookup interface shared by both matcher implementations."""
+
+    library: GateLibrary
 
     def match(
         self, num_leaves: int, table_bits: int, prefer: str = "delay"
     ) -> CellMatch | None:
-        """Find the best cell realizing the cut function, or ``None``.
-
-        Functions that do not depend on all cut leaves are looked up on their
-        true support, so a 4-leaf cut whose function only uses 3 leaves can
-        still match a 3-input cell (the mapper handles the leaf projection).
-        """
-        table = self._by_delay if prefer == "delay" else self._by_area
-        return table.get((num_leaves, table_bits))
+        raise NotImplementedError
 
     def match_reduced(
         self,
@@ -119,6 +116,117 @@ class LibraryMatcher:
         return found, tuple(leaves[p] for p in support), reduced_bits
 
 
+class LibraryMatcher(_MatcherBase):
+    """NPN-canonical match index for one library.
+
+    The index stores, per ``(arity, canonical table)``, the best cell of the
+    class by area and by delay together with the cell's canonicalizing
+    transform ``t_cell`` (``apply_match(cell.function, t_cell) ==
+    canonical``).  At match time the cut function is canonicalized to the
+    same form with transform ``t_cut`` and the returned pin assignment is
+    ``compose_matches(t_cell, invert_match(t_cut))``, i.e. cell -> canonical
+    -> cut.
+    """
+
+    def __init__(self, library: GateLibrary, allow_output_negation: bool = True) -> None:
+        self.library = library
+        self.allow_output_negation = allow_output_negation
+        self._by_area: dict[tuple[int, int], CellMatch] = {}
+        self._by_delay: dict[tuple[int, int], CellMatch] = {}
+        self._match_memo: dict[tuple[int, int, str], CellMatch | None] = {}
+        self._build(allow_output_negation)
+
+    def _build(self, allow_output_negation: bool) -> None:
+        for cell in self.library.cells:
+            canon_bits, perm, phase, negated = canonicalize_bits(
+                cell.function.bits, cell.arity, allow_output_negation
+            )
+            key = (cell.arity, canon_bits)
+            candidate = CellMatch(cell, InputMatch(perm, phase, negated))
+            best_area = self._by_area.get(key)
+            if best_area is None or _area_order(candidate) < _area_order(best_area):
+                self._by_area[key] = candidate
+            best_delay = self._by_delay.get(key)
+            if best_delay is None or _delay_order(candidate) < _delay_order(best_delay):
+                self._by_delay[key] = candidate
+
+    def __len__(self) -> int:
+        """Number of stored index entries (one per matched canonical class)."""
+        return len(self._by_area)
+
+    def match(
+        self, num_leaves: int, table_bits: int, prefer: str = "delay"
+    ) -> CellMatch | None:
+        """Find the best cell realizing the cut function, or ``None``.
+
+        Functions that do not depend on all cut leaves are looked up on their
+        true support, so a 4-leaf cut whose function only uses 3 leaves can
+        still match a 3-input cell (the mapper handles the leaf projection).
+        """
+        memo_key = (num_leaves, table_bits, prefer)
+        try:
+            return self._match_memo[memo_key]
+        except KeyError:
+            pass
+        canon_bits, perm, phase, negated = canonicalize_bits(
+            table_bits, num_leaves, self.allow_output_negation
+        )
+        table = self._by_delay if prefer == "delay" else self._by_area
+        entry = table.get((num_leaves, canon_bits))
+        result: CellMatch | None = None
+        if entry is not None:
+            t_cut = InputMatch(perm, phase, negated)
+            composed = compose_matches(entry.match, invert_match(t_cut))
+            result = CellMatch(entry.cell, composed)
+        self._match_memo[memo_key] = result
+        return result
+
+
+class ExhaustiveLibraryMatcher(_MatcherBase):
+    """Pre-computed permutation/phase match tables for one library.
+
+    The original (reference) matcher: every reachable truth table of every
+    cell is materialized in a dictionary keyed by ``(arity, raw bits)``, so
+    matching is a single lookup but construction enumerates up to
+    ``2 * n! * 2**n`` variants per cell.
+    """
+
+    def __init__(self, library: GateLibrary, allow_output_negation: bool = True) -> None:
+        self.library = library
+        self.allow_output_negation = allow_output_negation
+        self._by_area: dict[tuple[int, int], CellMatch] = {}
+        self._by_delay: dict[tuple[int, int], CellMatch] = {}
+        self._build(allow_output_negation)
+
+    def _build(self, allow_output_negation: bool) -> None:
+        for cell in self.library.cells:
+            tables = _fast_permutation_phase_tables(
+                cell.function.bits, cell.arity, allow_output_negation
+            )
+            for bits, match in tables.items():
+                key = (cell.arity, bits)
+                candidate = CellMatch(cell, match)
+                best_area = self._by_area.get(key)
+                if best_area is None or _area_order(candidate) < _area_order(best_area):
+                    self._by_area[key] = candidate
+                best_delay = self._by_delay.get(key)
+                if best_delay is None or _delay_order(candidate) < _delay_order(
+                    best_delay
+                ):
+                    self._by_delay[key] = candidate
+
+    def __len__(self) -> int:
+        """Number of stored index entries (one per reachable raw table)."""
+        return len(self._by_area)
+
+    def match(
+        self, num_leaves: int, table_bits: int, prefer: str = "delay"
+    ) -> CellMatch | None:
+        """Single-dictionary-lookup match against the pre-expanded tables."""
+        table = self._by_delay if prefer == "delay" else self._by_area
+        return table.get((num_leaves, table_bits))
+
+
 def _fast_permutation_phase_tables(
     bits: int, num_vars: int, include_output_negation: bool
 ) -> dict[int, InputMatch]:
@@ -151,20 +259,26 @@ def _fast_permutation_phase_tables(
     return result
 
 
-_MATCHER_CACHE: dict[tuple[str, bool], "LibraryMatcher"] = {}
+_MATCHER_CACHE: dict[tuple[str, bool, str], _MatcherBase] = {}
 
 
-def matcher_for(library: GateLibrary, allow_output_negation: bool = True) -> "LibraryMatcher":
+def matcher_for(
+    library: GateLibrary, allow_output_negation: bool = True, style: str = "npn"
+) -> _MatcherBase:
     """Build (and cache) the matcher of a library.
 
-    Matcher construction enumerates hundreds of thousands of permutation and
-    phase variants, so the experiment harness reuses one matcher per library
-    across all benchmarks.
+    ``style`` selects the implementation: ``"npn"`` (default) builds the
+    canonical index, ``"exhaustive"`` the pre-expanded reference tables.
+    One matcher per (library, flags) is reused across all benchmarks of an
+    experiment run.
     """
-    key = (library.name, allow_output_negation)
+    if style not in ("npn", "exhaustive"):
+        raise ValueError("style must be 'npn' or 'exhaustive'")
+    key = (library.name, allow_output_negation, style)
     cached = _MATCHER_CACHE.get(key)
     if cached is None or cached.library is not library:
-        cached = LibraryMatcher(library, allow_output_negation=allow_output_negation)
+        factory = LibraryMatcher if style == "npn" else ExhaustiveLibraryMatcher
+        cached = factory(library, allow_output_negation=allow_output_negation)
         _MATCHER_CACHE[key] = cached
     return cached
 

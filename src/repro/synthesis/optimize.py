@@ -227,19 +227,17 @@ def rewrite(aig: Aig, max_inputs: int = 4) -> Aig:
 def optimize(aig: Aig, max_rounds: int = 3) -> Aig:
     """The ``resyn2rs`` stand-in: interleave balancing and rewriting to a fixpoint.
 
-    The best (smallest, then shallowest) intermediate result is kept, so the
-    returned AIG is never larger or deeper than the balanced input even when a
-    rewriting round locally increases the node count.
+    Since the pass-based flow framework landed this is a thin wrapper over
+    the registered ``resyn2rs`` flow (balance prologue, up to ``max_rounds``
+    rounds of rewrite + balance, best intermediate result kept); see
+    :mod:`repro.flow`.  The returned AIG is never larger or deeper than the
+    input even when a rewriting round locally increases the node count.
     """
-    current = balance(aig)
-    best = current
-    for _ in range(max_rounds):
-        before = current.num_ands
-        current = balance(rewrite(current))
-        if (current.num_ands, current.depth()) < (best.num_ands, best.depth()):
-            best = current
-        if current.num_ands >= before:
-            break
-    if (aig.num_ands, aig.depth()) < (best.num_ands, best.depth()):
-        return aig
-    return best
+    from dataclasses import replace
+
+    from repro.flow import get_flow
+
+    flow = get_flow("resyn2rs")
+    if max_rounds != flow.max_rounds:
+        flow = replace(flow, max_rounds=max_rounds)
+    return flow.run(aig).aig

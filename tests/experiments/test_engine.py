@@ -59,6 +59,33 @@ class TestFingerprints:
         }
         assert len(keys) == 4
 
+    def test_job_keys_separate_by_flow(self, tmp_path):
+        engine = ExperimentEngine(cache_dir=tmp_path)
+        keys = {
+            engine.map_job_key(MapJob("add-16", LogicFamily.TG_STATIC, flow=flow))
+            for flow in ("resyn2rs", "quick", "deep", "none")
+        }
+        assert len(keys) == 4
+
+    def test_job_key_tracks_flow_definition(self, tmp_path, monkeypatch):
+        # Redefining a flow (different pass pipeline under the same name)
+        # must change the cache key, invalidating stale artifacts.
+        from dataclasses import replace
+
+        from repro.flow import get_flow, register_flow
+
+        engine = ExperimentEngine(cache_dir=tmp_path)
+        job = MapJob("add-16", LogicFamily.TG_STATIC, flow="quick")
+        before = engine.map_job_key(job)
+        original = get_flow("quick")
+        try:
+            register_flow(replace(original, max_rounds=2, round_passes=("rewrite",)),
+                          replace=True)
+            assert engine.map_job_key(job) != before
+        finally:
+            register_flow(original, replace=True)
+        assert engine.map_job_key(job) == before
+
 
 class TestCache:
     def test_miss_then_hit(self, tmp_path):
@@ -98,6 +125,17 @@ class TestCache:
         engine.run_map_jobs(_jobs())
         assert not list(tmp_path.glob("*.json"))
 
+    def test_cached_flow_does_not_satisfy_other_flows(self, tmp_path):
+        # A cached resyn2rs result must not be served for a quick request.
+        ExperimentEngine(cache_dir=tmp_path).run_map_jobs(_jobs())
+        quick_jobs = [
+            MapJob("add-16", family, flow="quick") for family in FAMILIES
+        ]
+        first_quick = ExperimentEngine(cache_dir=tmp_path).run_map_jobs(quick_jobs)
+        assert all(not result.cached for result in first_quick.values())
+        second_quick = ExperimentEngine(cache_dir=tmp_path).run_map_jobs(quick_jobs)
+        assert all(result.cached for result in second_quick.values())
+
     def test_default_cache_dir_honours_env(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "override"))
         assert default_cache_dir() == tmp_path / "override"
@@ -133,6 +171,32 @@ class TestParallelExecution:
         with pytest.raises(KeyError):
             ExperimentEngine(use_cache=False).run_table3(benchmark_names=("nope",))
 
+    def test_unknown_flow_rejected_before_work(self):
+        with pytest.raises(KeyError):
+            ExperimentEngine(use_cache=False).run_table3(
+                benchmark_names=SUBSET, flow="no-such-flow"
+            )
+
+    def test_explicit_flow_conflicts_with_optimize_first_false(self):
+        # optimize_first=False must not silently discard an explicit flow.
+        with pytest.raises(ValueError, match="conflicts"):
+            ExperimentEngine(use_cache=False).run_table3(
+                benchmark_names=SUBSET, flow="deep", optimize_first=False
+            )
+
+    def test_flows_run_end_to_end_with_distinct_results_or_stats(self):
+        # Both named flows run through the engine; `none` must reflect the
+        # unoptimized subject graph while resyn2rs shrinks or preserves it.
+        engine = ExperimentEngine(use_cache=False)
+        via_resyn = engine.run_table3(benchmark_names=SUBSET)
+        via_quick = engine.run_table3(benchmark_names=SUBSET, flow="quick")
+        via_none = engine.run_table3(benchmark_names=SUBSET, optimize_first=False)
+        assert via_none.rows[0].aig_nodes >= via_resyn.rows[0].aig_nodes
+        for result in (via_resyn, via_quick, via_none):
+            for row in result.rows:
+                for stats in row.results.values():
+                    assert stats.gates > 0
+
 
 class TestTable2Jobs:
     def test_characterization_cache_round_trip(self, tmp_path):
@@ -166,8 +230,17 @@ class TestArtifacts:
         }
         loaded = {path.name: json.loads(path.read_text()) for path in written}
         assert "add-16" in {row["name"] for row in loaded["table3.json"]["rows"]}
+        assert loaded["table3.json"]["flow"] == "resyn2rs"
         assert LogicFamily.TG_STATIC.value in loaded["table2.json"]["families"]
         assert loaded["figure6.json"]["series"]["add-16"]["static"] > 1.0
+
+    def test_table3_artifact_records_selected_flow(self, tmp_path):
+        engine = ExperimentEngine(use_cache=False)
+        table3 = engine.run_table3(benchmark_names=SUBSET, flow="quick")
+        assert table3.flow == "quick"
+        assert table3_payload(table3)["flow"] == "quick"
+        none_result = engine.run_table3(benchmark_names=SUBSET, optimize_first=False)
+        assert none_result.flow == "none"
 
     def test_payload_helpers_are_json_serializable(self, tmp_path):
         engine = ExperimentEngine(cache_dir=tmp_path)

@@ -61,6 +61,39 @@ class TestRunnerCli:
         with pytest.raises(KeyError):
             main(["not-a-benchmark", "--no-cache"])
 
+    def test_list_flows(self, capsys):
+        exit_code = main(["--list-flows"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        for flow in ("none", "quick", "resyn2rs", "deep"):
+            assert flow in captured
+        assert "passes:" in captured
+        assert "Table 2" not in captured  # listing flows runs no experiments
+
+    def test_flow_selection_runs_and_caches_separately(self, capsys, tmp_path):
+        artifacts = tmp_path / "artifacts"
+        exit_code = main(
+            ["add-16", "--flow", "quick", "--cache-dir", str(tmp_path),
+             "--json", str(artifacts)]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "[flow: quick]" in captured
+        assert "add-16" in captured
+        # The artifact records which flow produced it.
+        assert json.loads((artifacts / "table3.json").read_text())["flow"] == "quick"
+        quick_entries = set(tmp_path.glob("*.json"))
+        assert quick_entries
+        exit_code = main(["add-16", "--cache-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert exit_code == 0
+        # The default resyn2rs run added new cache entries of its own.
+        assert set(tmp_path.glob("*.json")) > quick_entries
+
+    def test_unknown_flow_rejected(self):
+        with pytest.raises(KeyError):
+            main(["--flow", "warp-speed", "--no-cache"])
+
 
 class TestReportDetails:
     def test_per_cell_rendering_includes_paper_columns(self):

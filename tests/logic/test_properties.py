@@ -4,7 +4,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.logic import TruthTable, npn_canonical, parse_expr
-from repro.logic.npn import all_input_permutation_phase_tables
+from repro.logic.npn import (
+    InputMatch,
+    all_input_permutation_phase_tables,
+    apply_match,
+    invert_match,
+    npn_canonicalize,
+)
 
 MAX_VARS = 4
 
@@ -13,6 +19,14 @@ def tables(num_vars=MAX_VARS):
     return st.integers(min_value=0, max_value=(1 << (1 << num_vars)) - 1).map(
         lambda bits: TruthTable(num_vars, bits)
     )
+
+
+def matches(num_vars=MAX_VARS, allow_output_negation=True):
+    return st.tuples(
+        st.permutations(list(range(num_vars))),
+        st.integers(min_value=0, max_value=(1 << num_vars) - 1),
+        st.booleans() if allow_output_negation else st.just(False),
+    ).map(lambda t: InputMatch(tuple(t[0]), t[1], t[2]))
 
 
 @given(tables(), tables())
@@ -50,6 +64,30 @@ def test_npn_canonical_is_class_invariant(a):
     for bits in list(all_input_permutation_phase_tables(a, include_output_negation=True))[:10]:
         variant = TruthTable(3, bits)
         assert npn_canonical(variant) == canon
+
+
+@given(tables(), matches())
+def test_npn_canonicalize_invariant_under_random_transforms(a, match):
+    """The canonical form of any permuted/phased/negated variant is unchanged."""
+    canonical, _ = npn_canonicalize(a)
+    variant = apply_match(a, match)
+    assert npn_canonicalize(variant)[0] == canonical
+
+
+@given(tables())
+def test_npn_canonicalize_transform_round_trips(a):
+    """The returned transform maps the table to its canonical form and back."""
+    canonical, transform = npn_canonicalize(a)
+    assert apply_match(a, transform) == canonical
+    assert apply_match(canonical, invert_match(transform)) == a
+
+
+@given(tables(), matches(allow_output_negation=False))
+def test_np_canonicalize_invariant_without_output_negation(a, match):
+    canonical, transform = npn_canonicalize(a, include_output_negation=False)
+    assert not transform.output_negated
+    variant = apply_match(a, match)
+    assert npn_canonicalize(variant, include_output_negation=False)[0] == canonical
 
 
 @given(tables(3))
