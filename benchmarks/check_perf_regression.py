@@ -1,0 +1,101 @@
+"""Compare a pytest-benchmark JSON export against a committed baseline.
+
+Used by the nightly CI job to catch mapping-time regressions: the flow
+benchmark export (``flow_bench.json``) is compared benchmark-by-benchmark
+against ``benchmarks/baselines/flow_bench_baseline.json`` and the check fails
+when any mean time regresses by more than ``--max-regression`` (default 30%,
+generous because CI machines vary).  Benchmarks present on only one side are
+reported but never fail the check, so adding or renaming benchmarks does not
+require touching the baseline in the same change.
+
+Refresh the baseline from a trusted run with::
+
+    python benchmarks/check_perf_regression.py new_run.json \
+        benchmarks/baselines/flow_bench_baseline.json --write-baseline
+
+The override knob for intentional slowdowns is documented in
+``tests/README.md`` (the ``[skip-perf-guard]`` commit-message label).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_means(path: Path) -> dict[str, float]:
+    """Benchmark-name -> mean seconds, from either export or baseline format."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if isinstance(payload, dict) and "benchmarks" in payload:
+        return {
+            entry["fullname"]: float(entry["stats"]["mean"])
+            for entry in payload["benchmarks"]
+        }
+    if isinstance(payload, dict):
+        return {name: float(mean) for name, mean in payload.items()}
+    raise ValueError(f"{path} is neither a pytest-benchmark export nor a baseline")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", type=Path, help="pytest-benchmark JSON export")
+    parser.add_argument("baseline", type=Path, help="committed baseline JSON")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        metavar="FRACTION",
+        help="allowed slowdown per benchmark (default: 0.30 = 30%%)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current export instead of checking",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_means(args.current)
+    if args.write_baseline:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(current, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote baseline ({len(current)} benchmarks) to {args.baseline}")
+        return 0
+
+    baseline = load_means(args.baseline)
+    regressions: list[str] = []
+    for name in sorted(current):
+        mean = current[name]
+        reference = baseline.get(name)
+        if reference is None:
+            print(f"[new]      {name}: {mean * 1000:.1f} ms (no baseline entry)")
+            continue
+        ratio = mean / reference if reference > 0 else float("inf")
+        marker = "ok" if ratio <= 1.0 + args.max_regression else "REGRESSION"
+        print(
+            f"[{marker:>10}] {name}: {mean * 1000:.1f} ms "
+            f"vs baseline {reference * 1000:.1f} ms ({ratio:.2f}x)"
+        )
+        if marker == "REGRESSION":
+            regressions.append(name)
+    for name in sorted(set(baseline) - set(current)):
+        print(f"[gone]     {name}: in baseline but not in the current run")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed more than "
+            f"{args.max_regression:.0%}: {', '.join(regressions)}\n"
+            "If the slowdown is intentional, refresh the baseline with "
+            "--write-baseline (see tests/README.md for the CI override label)."
+        )
+        return 1
+    print(f"\nall {len(current)} benchmarks within {args.max_regression:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,10 +54,11 @@ from repro.experiments.table3 import (
     Table3Row,
     _paper_row,
 )
+from repro import profiling
 from repro.flow import DEFAULT_FLOW, get_flow, resolve_flow, run_flow
 from repro.synthesis.aig import Aig
-from repro.synthesis.cuts import DEFAULT_CUT_LIMIT, DEFAULT_MAX_INPUTS
-from repro.synthesis.mapper import technology_map
+from repro.synthesis.cuts import DEFAULT_CUT_LIMIT, DEFAULT_MAX_INPUTS, clear_cut_caches
+from repro.synthesis.mapper import technology_map, verify_mapping
 from repro.synthesis.matcher import matcher_for
 
 #: Bump when the meaning of cached payloads changes; old entries are then
@@ -209,7 +210,8 @@ def _subject_aig(benchmark: str, flow: str) -> Aig:
     cached = _OPTIMIZED_AIGS.get(key)
     if cached is None:
         try:
-            result = run_flow(flow, benchmark_by_name(benchmark).build())
+            with profiling.stage("optimize"):
+                result = run_flow(flow, benchmark_by_name(benchmark).build())
         except KeyError as error:
             # Worker processes started via spawn/forkserver re-import modules
             # and only see flows registered at import time; surface that
@@ -238,6 +240,19 @@ def _run_map_job(spec: tuple) -> dict:
         max_inputs=max_inputs,
         cut_limit=cut_limit,
     )
+    if profiling.active():
+        # Attribution-only stage: check the mapped netlist against the
+        # subject AIG on a deterministic packed pattern set so ``--profile``
+        # reports where verification time would go.
+        import random
+
+        seed = random.Random(f"profile:{aig.name}")
+        patterns = {
+            name: [seed.getrandbits(64) for _ in range(2)] for name in aig.pi_names
+        }
+        with profiling.stage("verify"):
+            if not verify_mapping(mapped, aig, patterns):  # pragma: no cover
+                raise RuntimeError(f"mapped netlist of {aig.name!r} failed verification")
     return {
         "stats": asdict(MappingStats.from_mapped(mapped)),
         "aig_nodes": aig.num_ands,
@@ -371,13 +386,24 @@ class ExperimentEngine:
         families_per_benchmark = max(
             1, len(jobs) // max(1, len({job.benchmark for job in jobs}))
         )
-        raw = self._run_jobs(
-            _run_map_job,
-            list(jobs),
-            keys,
-            chunksize=families_per_benchmark,
-            prepare_parallel=prewarm_matchers,
-        )
+        try:
+            raw = self._run_jobs(
+                _run_map_job,
+                list(jobs),
+                keys,
+                chunksize=families_per_benchmark,
+                prepare_parallel=prewarm_matchers,
+            )
+        finally:
+            # Bound per-process memory across repeated large-benchmark runs:
+            # the scalar table and matcher caches regrow cheaply, and the
+            # cut-set memos (the largest per-run allocations) are stripped
+            # from the optimized AIGs pinned by _OPTIMIZED_AIGS -- the AIGs
+            # themselves stay cached, only their cut arrays are released.
+            clear_cut_caches()
+            for aig in _OPTIMIZED_AIGS.values():
+                aig.__dict__.pop("_cut_sets", None)
+                aig.__dict__.pop("_array_view", None)
         results: dict[MapJob, MapJobResult] = {}
         for job, (payload, cached) in raw.items():
             results[job] = MapJobResult(

@@ -33,14 +33,25 @@ Scheduling goes through the parallel experiment engine
     pass-pipeline fingerprint are folded into the cache key, so results
     computed under one flow never satisfy requests for another.
     ``--list-flows`` prints every registered flow and exits.
+
+``--profile`` / ``--profile-out PATH``
+    Emit per-stage wall-clock timing (``optimize`` / ``cuts`` / ``match`` /
+    ``cover`` / ``verify``) as JSON -- to stdout with ``--profile``, to PATH
+    with ``--profile-out`` (which implies ``--profile``) -- so performance
+    work can attribute wins per pipeline stage.  Profiling forces
+    ``--jobs 1`` and disables the result cache: stage accounting lives in
+    the worker process and cached jobs skip every stage, so neither parallel
+    nor cached runs would produce attributable numbers.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
+from repro import profiling
 from repro.experiments.engine import ExperimentEngine
 from repro.flow import DEFAULT_FLOW, available_flows, get_flow
 from repro.experiments.figure6 import figure6_from_table3
@@ -105,7 +116,21 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the registered synthesis flows and exit",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="emit per-stage timing JSON (optimize/cuts/match/cover/verify) "
+        "to stdout; implies --jobs 1 and --no-cache",
+    )
+    parser.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        default=None,
+        help="write the per-stage timing JSON to PATH (implies --profile)",
+    )
     args = parser.parse_args(argv)
+    if args.profile_out is not None:
+        args.profile = True
 
     if args.list_flows:
         for name in available_flows():
@@ -117,10 +142,15 @@ def main(argv: list[str] | None = None) -> int:
 
     get_flow(args.flow)  # reject unknown flows before doing any work
 
+    if args.profile:
+        if args.jobs != 1:
+            print("[--profile forces --jobs 1 for in-process stage accounting]")
+        profiling.enable()
+
     engine = ExperimentEngine(
-        jobs=args.jobs,
+        jobs=1 if args.profile else args.jobs,
         cache_dir=args.cache_dir,
-        use_cache=not args.no_cache,
+        use_cache=False if args.profile else not args.no_cache,
     )
 
     start = time.time()
@@ -145,6 +175,18 @@ def main(argv: list[str] | None = None) -> int:
             args.json, table2=table2, table3=table3, figure6=figure6
         )
         print(f"\nwrote {', '.join(str(path) for path in written)}")
+
+    if args.profile:
+        report = profiling.snapshot()
+        profiling.disable()
+        rendered = json.dumps(report, indent=2, sort_keys=True)
+        if args.profile_out is None:
+            print("\nper-stage profile:")
+            print(rendered)
+        else:
+            with open(args.profile_out, "w", encoding="utf-8") as handle:
+                handle.write(rendered + "\n")
+            print(f"\nwrote per-stage profile to {args.profile_out}")
 
     print(f"\ntotal runtime: {time.time() - start:.1f} s")
     return 0

@@ -140,3 +140,10 @@ register_pass(
         "cut-based resynthesis over 5-input cuts (aggressive, slower)",
     )
 )
+register_pass(
+    FunctionPass(
+        "sweep",
+        lambda aig: aig.cleanup(),
+        "drop logic unreachable from the outputs (array-backed compaction)",
+    )
+)

@@ -1,0 +1,61 @@
+"""Opt-in per-stage wall-clock accounting for the synthesis pipeline.
+
+The runner's ``--profile`` flag enables a process-global accumulator; the
+pipeline stages -- ``optimize`` (technology-independent flow), ``cuts``
+(enumeration), ``match`` (forward DP), ``cover`` (covering + timing) and
+``verify`` (mapped-netlist equivalence check) -- wrap their hot sections in
+:func:`stage`, which is a no-op costing one attribute read when profiling is
+disabled.  :func:`snapshot` returns the accumulated seconds and entry counts
+for the JSON report, so future performance work can attribute wins per stage.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+_active = False
+_seconds: dict[str, float] = {}
+_entries: dict[str, int] = {}
+
+
+def enable(reset: bool = True) -> None:
+    """Turn the accumulator on (optionally clearing previous figures)."""
+    global _active
+    if reset:
+        _seconds.clear()
+        _entries.clear()
+    _active = True
+
+
+def disable() -> None:
+    global _active
+    _active = False
+
+
+def active() -> bool:
+    return _active
+
+
+@contextmanager
+def stage(name: str) -> Iterator[None]:
+    """Accumulate the wall-clock time of a pipeline stage when profiling."""
+    if not _active:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        _seconds[name] = _seconds.get(name, 0.0) + (time.perf_counter() - start)
+        _entries[name] = _entries.get(name, 0) + 1
+
+
+def snapshot() -> dict:
+    """The accumulated per-stage figures (stable key order)."""
+    return {
+        "stages": {name: _seconds[name] for name in sorted(_seconds)},
+        "entries": {name: _entries[name] for name in sorted(_entries)},
+        "total_seconds": sum(_seconds.values()),
+    }

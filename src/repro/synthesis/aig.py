@@ -40,7 +40,7 @@ def make_literal(node: int, complemented: bool = False) -> AigLiteral:
     return (node << 1) | int(complemented)
 
 
-@dataclass
+@dataclass(slots=True)
 class _Node:
     """One AIG node.  Primary inputs have ``fanin0 == fanin1 == -1``."""
 
@@ -83,9 +83,11 @@ class Aig:
 
     def and_gate(self, a: AigLiteral, b: AigLiteral) -> AigLiteral:
         """AND of two literals with structural hashing and local simplification."""
-        for literal in (a, b):
-            if literal < 0 or lit_node(literal) >= len(self._nodes):
-                raise ValueError(f"literal {literal} does not exist")
+        nodes = self._nodes
+        known = len(nodes)
+        if a < 0 or (a >> 1) >= known or b < 0 or (b >> 1) >= known:
+            bad = a if (a < 0 or (a >> 1) >= known) else b
+            raise ValueError(f"literal {bad} does not exist")
         # Local simplifications.
         if a == CONST0 or b == CONST0:
             return CONST0
@@ -95,7 +97,7 @@ class Aig:
             return a
         if a == b:
             return a
-        if a == lit_complement(b):
+        if a ^ 1 == b:
             return CONST0
         # Canonical order for hashing.
         if a > b:
@@ -103,12 +105,12 @@ class Aig:
         key = (a, b)
         existing = self._strash.get(key)
         if existing is not None:
-            return make_literal(existing)
-        node = len(self._nodes)
-        level = 1 + max(self._nodes[lit_node(a)].level, self._nodes[lit_node(b)].level)
-        self._nodes.append(_Node(a, b, level))
-        self._strash[key] = node
-        return make_literal(node)
+            return existing << 1
+        level0 = nodes[a >> 1].level
+        level1 = nodes[b >> 1].level
+        nodes.append(_Node(a, b, (level0 if level0 >= level1 else level1) + 1))
+        self._strash[key] = known
+        return known << 1
 
     def not_gate(self, a: AigLiteral) -> AigLiteral:
         return lit_complement(a)
@@ -232,36 +234,51 @@ class Aig:
     # -- simulation ------------------------------------------------------------
 
     def simulate_words(self, pi_words: dict[str, list[int]]) -> dict[str, list[int]]:
-        """64-bit packed simulation; returns one word list per primary output."""
+        """64-bit packed simulation; returns one word list per primary output.
+
+        Runs on the array-backed view (:mod:`repro.synthesis.aig_array`): all
+        nodes of one AND-level are evaluated with a single batched uint64
+        gather/AND, so simulation cost is dominated by the number of levels
+        rather than the number of nodes.
+        """
+        import numpy as np
+
+        from repro.synthesis.aig_array import aig_arrays
+
         if set(pi_words) != set(self._pi_names):
             missing = set(self._pi_names) - set(pi_words)
             extra = set(pi_words) - set(self._pi_names)
             raise ValueError(f"pattern mismatch (missing {missing}, extra {extra})")
         num_words = len(next(iter(pi_words.values()))) if pi_words else 1
         mask = (1 << 64) - 1
-        values: list[list[int]] = [[0] * num_words for _ in range(len(self._nodes))]
+        arrays = aig_arrays(self)
+        values = np.zeros((len(self._nodes), num_words), dtype=np.uint64)
         for name, node in zip(self._pi_names, self._pi_nodes):
             words = pi_words[name]
             if len(words) != num_words:
                 raise ValueError("all inputs must provide the same number of words")
-            values[node] = [w & mask for w in words]
+            values[node] = np.fromiter(
+                (w & mask for w in words), dtype=np.uint64, count=num_words
+            )
 
-        def literal_words(literal: AigLiteral) -> list[int]:
-            words = values[lit_node(literal)]
+        for group in arrays.level_groups:
+            fanin0 = arrays.fanin0[group]
+            fanin1 = arrays.fanin1[group]
+            words0 = values[fanin0 >> 1]
+            words1 = values[fanin1 >> 1]
+            complement0 = ((fanin0 & 1) == 1)[:, None]
+            complement1 = ((fanin1 & 1) == 1)[:, None]
+            values[group] = np.where(complement0, ~words0, words0) & np.where(
+                complement1, ~words1, words1
+            )
+
+        result: dict[str, list[int]] = {}
+        for name, literal in zip(self._po_names, self._po_literals):
+            row = values[lit_node(literal)]
             if lit_is_complemented(literal):
-                return [(~w) & mask for w in words]
-            return words
-
-        for node in self.and_nodes():
-            f0, f1 = self.fanins(node)
-            w0 = literal_words(f0)
-            w1 = literal_words(f1)
-            values[node] = [a & b for a, b in zip(w0, w1)]
-
-        return {
-            name: literal_words(literal)
-            for name, literal in zip(self._po_names, self._po_literals)
-        }
+                row = ~row
+            result[name] = [int(word) for word in row]
+        return result
 
     def evaluate(self, assignment: dict[str, bool]) -> dict[str, bool]:
         """Single-pattern evaluation (convenience wrapper over word simulation)."""
@@ -272,7 +289,67 @@ class Aig:
     # -- restructuring -----------------------------------------------------------
 
     def cleanup(self) -> "Aig":
-        """Return a copy containing only the logic reachable from the outputs."""
+        """Return a copy containing only the logic reachable from the outputs.
+
+        Runs on the array-backed view: reachability is a batched backward
+        sweep over the level groups and the surviving nodes are compacted
+        directly (old node order, canonical fanin order and levels are all
+        preserved, so the result is bit-identical to a node-by-node rebuild
+        through :meth:`and_gate`).
+        """
+        import numpy as np
+
+        from repro.synthesis.aig_array import aig_arrays
+
+        arrays = aig_arrays(self)
+        and_nodes = arrays.and_nodes
+        if and_nodes.size:
+            source0 = arrays.fanin0[and_nodes] >> 1
+            source1 = arrays.fanin1[and_nodes] >> 1
+            if bool((source0 == 0).any() or (source1 == 0).any() or (source0 == source1).any()):
+                # Constant or duplicated fanins would re-trigger and_gate
+                # simplification; take the straightforward rebuild so
+                # behaviour stays identical.
+                return self._cleanup_rebuild()
+
+        reachable = np.zeros(arrays.num_nodes, dtype=bool)
+        if arrays.po_literals.size:
+            reachable[arrays.po_literals >> 1] = True
+        for group in reversed(arrays.level_groups):
+            live = group[reachable[group]]
+            if live.size == 0:
+                continue
+            reachable[arrays.fanin0[live] >> 1] = True
+            reachable[arrays.fanin1[live] >> 1] = True
+
+        new = Aig(self.name)
+        mapping = np.zeros(arrays.num_nodes, dtype=np.int64)
+        for name, node in zip(self._pi_names, self._pi_nodes):
+            mapping[node] = new.add_pi(name)
+        live_ands = and_nodes[reachable[and_nodes]]
+        base = len(new._nodes)
+        mapping[live_ands] = np.arange(base, base + live_ands.size) << 1
+        fanin0 = arrays.fanin0[live_ands]
+        fanin1 = arrays.fanin1[live_ands]
+        new_f0 = mapping[fanin0 >> 1] ^ (fanin0 & 1)
+        new_f1 = mapping[fanin1 >> 1] ^ (fanin1 & 1)
+        lo = np.minimum(new_f0, new_f1)
+        hi = np.maximum(new_f0, new_f1)
+        nodes = new._nodes
+        strash = new._strash
+        for node_id, (low, high, level) in enumerate(
+            zip(lo.tolist(), hi.tolist(), arrays.level[live_ands].tolist()),
+            start=base,
+        ):
+            nodes.append(_Node(low, high, level))
+            strash[(low, high)] = node_id
+        mapping_list = mapping.tolist()
+        for name, literal in zip(self._po_names, self._po_literals):
+            new.add_po(name, mapping_list[literal >> 1] ^ (literal & 1))
+        return new
+
+    def _cleanup_rebuild(self) -> "Aig":
+        """Reference node-by-node cleanup (used when simplification may fire)."""
         reachable: set[int] = set()
         stack = [lit_node(l) for l in self._po_literals]
         while stack:

@@ -1,0 +1,178 @@
+"""Batched uint64 truth-table kernels for the vectorized cut pipeline.
+
+Every K<=6 cut function fits in one 64-bit word, so whole batches of cut
+tables -- all candidate cuts of a level of the AIG at once -- can be
+manipulated with a handful of numpy bitwise operations instead of per-cut
+big-int loops.  This module provides the three primitives the enumerator
+needs:
+
+* :func:`insert_dontcare` / :func:`expand_tables` -- re-express a table over
+  a superset of its variables by inserting don't-care variables (the batched
+  equivalent of ``repro.synthesis.cuts._expand_at_positions``);
+* :func:`batch_support` -- true-support masks of a table batch (the batched
+  equivalent of ``repro.synthesis.cuts.table_support``);
+* :data:`FULL_BY_SIZE` -- the all-ones mask per variable count, for batched
+  output complementation.
+
+Don't-care insertion at position ``p`` duplicates every ``2**p``-bit chunk of
+the table.  The chunks are first *spread* to double spacing with a butterfly
+network of shift-and-mask steps (chunk ``i`` moves by ``i * 2**p`` bits,
+decomposed over the binary digits of ``i``), then OR-ed with a copy shifted by
+one chunk -- O(log) vector operations per insertion, with the masks
+precomputed once per position.
+
+All kernels are pure and exactly bit-compatible with the scalar reference
+implementations in :mod:`repro.synthesis.cuts`; the hypothesis property tests
+in ``tests/synthesis/test_cut_properties.py`` pin that equivalence.
+"""
+
+from __future__ import annotations
+
+import sys
+from functools import lru_cache
+
+import numpy as np
+
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+_U64 = np.uint64
+_FULL64 = 0xFFFFFFFFFFFFFFFF
+
+#: All-ones table mask per variable count: ``FULL_BY_SIZE[n]`` has ``2**n``
+#: low bits set (the whole word for n == 6).
+FULL_BY_SIZE = np.array(
+    [(1 << (1 << n)) - 1 if n < 6 else _FULL64 for n in range(7)], dtype=np.uint64
+)
+
+#: 64-bit periodic negative-cofactor masks: ``VAR_PERIOD_MASKS[j]`` selects
+#: the minterms with variable ``j`` equal to 0, replicated across the word.
+VAR_PERIOD_MASKS = np.zeros(6, dtype=np.uint64)
+for _j in range(6):
+    _block = 1 << _j
+    _chunk = (1 << _block) - 1
+    _bits = 0
+    for _start in range(0, 64, _block * 2):
+        _bits |= _chunk << _start
+    VAR_PERIOD_MASKS[_j] = np.uint64(_bits)
+del _j, _block, _chunk, _bits, _start
+
+
+@lru_cache(maxsize=None)
+def _spread_steps(position: int) -> tuple[tuple[np.uint64, np.uint64, np.uint64], ...]:
+    """Butterfly (shift, mask, inverse-mask) steps spreading ``2**position``-bit
+    chunks of a <=32-bit table to double spacing inside a 64-bit word."""
+    block = 1 << position
+    n_chunks = max(32 // block, 1)
+    offsets = [index * block for index in range(n_chunks)]
+    steps = []
+    for k in range((n_chunks - 1).bit_length() - 1, -1, -1):
+        shift = (1 << k) * block
+        mask = 0
+        for index in range(n_chunks):
+            if (index >> k) & 1:
+                mask |= ((1 << block) - 1) << offsets[index]
+        for index in range(n_chunks):
+            if (index >> k) & 1:
+                offsets[index] += shift
+        steps.append((_U64(shift), _U64(mask), _U64(mask ^ _FULL64)))
+    return tuple(steps)
+
+
+def insert_dontcare(tables: np.ndarray, position: int) -> np.ndarray:
+    """Insert a don't-care variable at ``position`` into every table.
+
+    ``tables`` must hold functions of at least ``position`` and at most 5
+    variables (so the result still fits the word).  Equivalent to one step of
+    ``_expand_at_positions`` applied across the whole batch.
+    """
+    t = tables
+    for shift, mask, inverse in _spread_steps(position):
+        t = (t & inverse) | ((t & mask) << shift)
+    return t | (t << _U64(1 << position))
+
+
+def _build_expand_index() -> np.ndarray:
+    """``_EXPAND_INDEX[submask, m]`` = the source-table bit feeding expanded
+    minterm ``m``: the bits of ``m`` at the positions named by ``submask``,
+    compressed together (a precomputed parallel-bit-extract)."""
+    index = np.zeros((64, 64), dtype=np.uint64)
+    for submask in range(64):
+        for minterm in range(64):
+            source, out = 0, 0
+            for position in range(6):
+                if (submask >> position) & 1:
+                    if (minterm >> position) & 1:
+                        source |= 1 << out
+                    out += 1
+            index[submask, minterm] = source
+    return index
+
+
+_EXPAND_INDEX = _build_expand_index()
+_MINTERM_WEIGHTS = _U64(1) << np.arange(64, dtype=np.uint64)
+
+#: ``_EXPAND_LUT[submask, chunk, byte]`` = the expanded-word bits contributed
+#: by source-table byte ``chunk`` holding value ``byte`` (built lazily; ~1 MB).
+_EXPAND_LUT: np.ndarray | None = None
+
+
+def _build_expand_lut() -> np.ndarray:
+    lut = np.zeros((64, 8, 256), dtype=np.uint64)
+    byte_values = np.arange(256, dtype=np.uint64)[:, None]
+    for submask in range(64):
+        index = _EXPAND_INDEX[submask]
+        source_chunk = (index >> _U64(3)).astype(np.int64)
+        source_bit = index & _U64(7)
+        for chunk in range(8):
+            minterms = np.nonzero(source_chunk == chunk)[0]
+            if minterms.size == 0:
+                continue
+            bits = (byte_values >> source_bit[minterms][None, :]) & _U64(1)
+            lut[submask, chunk] = (bits * _MINTERM_WEIGHTS[minterms][None, :]).sum(
+                axis=1, dtype=np.uint64
+            )
+    return lut
+
+
+def expand_tables(tables: np.ndarray, submasks: np.ndarray) -> np.ndarray:
+    """Re-express each table over the superset of variables named by its mask.
+
+    ``submasks[i]`` has bit ``p`` set when target position ``p`` carries one
+    of table ``i``'s current variables (in ascending order); the remaining
+    target positions become don't-cares.  Implemented as eight byte-sliced
+    lookups through :data:`_EXPAND_LUT` OR-ed together -- a fixed handful of
+    vector operations per batch with no per-position branching, and high
+    all-zero source bytes are skipped entirely.
+
+    Bits of the result above ``2**target_size`` are unspecified; callers mask
+    with :data:`FULL_BY_SIZE` (the scalar ``_expand_at_positions`` leaves
+    them zero instead).
+    """
+    global _EXPAND_LUT
+    if tables.size == 0:
+        return tables.astype(np.uint64)
+    if _EXPAND_LUT is None:
+        _EXPAND_LUT = _build_expand_lut()
+    t = np.ascontiguousarray(tables, dtype=np.uint64)
+    source_bytes = t[:, None].view(np.uint8)
+    if not _LITTLE_ENDIAN:  # pragma: no cover - big-endian hosts only
+        source_bytes = source_bytes[:, ::-1]
+    populated = (int(t.max()).bit_length() + 7) // 8
+    out = _EXPAND_LUT[submasks, 0, source_bytes[:, 0]]
+    for chunk in range(1, populated):
+        out = out | _EXPAND_LUT[submasks, chunk, source_bytes[:, chunk]]
+    return out
+
+
+def batch_support(tables: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+    """True-support bitmask of every table (over ``sizes[i]`` variables)."""
+    supports = np.zeros(tables.shape, dtype=np.uint8)
+    for position in range(6):
+        in_range = sizes > position
+        if not in_range.any():
+            break
+        mask = VAR_PERIOD_MASKS[position]
+        shifted = tables >> _U64(1 << position)
+        depends = (tables & mask) != (shifted & mask)
+        supports |= (depends & in_range).astype(np.uint8) << np.uint8(position)
+    return supports

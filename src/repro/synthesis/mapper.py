@@ -26,9 +26,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import profiling
 from repro.core.library import GateLibrary
 from repro.synthesis.aig import Aig, lit_node
-from repro.synthesis.cuts import Cut, DEFAULT_CUT_LIMIT, DEFAULT_MAX_INPUTS, enumerate_cuts
+from repro.synthesis.aig_array import aig_arrays
+from repro.synthesis.cuts import DEFAULT_CUT_LIMIT, DEFAULT_MAX_INPUTS, cut_set_for
 from repro.synthesis.matcher import CellMatch, _MatcherBase, matcher_for
 
 
@@ -98,7 +100,6 @@ class MappedCircuit:
 
 @dataclass
 class _NodeChoice:
-    cut: Cut
     match: CellMatch
     leaves: tuple[int, ...]
     table: int
@@ -128,113 +129,127 @@ def technology_map(
         raise ValueError("objective must be 'delay' or 'area'")
     if matcher is None:
         matcher = matcher_for(library)
-    cuts = enumerate_cuts(aig, max_inputs=max_inputs, cut_limit=cut_limit)
-    fanout = aig.fanout_counts()
+    with profiling.stage("cuts"):
+        cut_set = cut_set_for(aig, max_inputs=max_inputs, cut_limit=cut_limit)
+        arrays = aig_arrays(aig)
 
-    arrival: dict[int, float] = {0: 0.0}
-    area_flow: dict[int, float] = {0: 0.0}
+    # Forward DP over the array representation: per-node best arrival and
+    # area flow live in dense arrays indexed by node id (constant and primary
+    # inputs start at zero; every cut leaf precedes its node in topological
+    # order, so reads always hit finalized entries), choices are resolved per
+    # node from the node's cut slots.  Plain Python lists are used for the
+    # dense stores because the loop reads and writes single scalars.
+    num_nodes = arrays.num_nodes
+    arrival_list = [0.0] * num_nodes
+    area_flow_list = [0.0] * num_nodes
     choices: dict[int, _NodeChoice] = {}
-    for pi in aig.pi_nodes():
-        arrival[pi] = 0.0
-        area_flow[pi] = 0.0
+    fanout = arrays.fanout.tolist()
+    cut_count, cut_size, cut_leaves, cut_table, cut_support = cut_set.as_python()
 
     prefer = "delay" if objective == "delay" else "area"
 
-    for node in aig.and_nodes():
-        best: _NodeChoice | None = None
-        for cut in cuts[node]:
-            if cut.size == 1 and cut.leaves[0] == node:
-                continue  # trivial cut does not cover the node
-            reduced = matcher.match_reduced(
-                cut.leaves, cut.table, prefer=prefer, support_mask=cut.support_mask()
-            )
-            if reduced is None:
-                continue
-            match, leaves, table = reduced
-            if any(leaf not in arrival for leaf in leaves):
-                continue
-            cell = match.cell
-            node_arrival = (
-                max((arrival[leaf] for leaf in leaves), default=0.0)
-                + cell.delay.fo4_average
-            )
-            references = max(fanout[node], 1)
-            node_area_flow = (
-                cell.area + sum(area_flow[leaf] for leaf in leaves)
-            ) / references
-            candidate = _NodeChoice(cut, match, leaves, table, node_arrival, node_area_flow)
+    with profiling.stage("match"):
+        for node in arrays.and_nodes.tolist():
+            best: _NodeChoice | None = None
+            node_leaves = cut_leaves[node]
+            node_tables = cut_table[node]
+            node_sizes = cut_size[node]
+            node_support = cut_support[node]
+            for slot in range(cut_count[node] - 1):  # last slot: trivial cut
+                found = matcher.match_positions(
+                    node_sizes[slot],
+                    node_tables[slot],
+                    prefer=prefer,
+                    support_mask=node_support[slot],
+                )
+                if found is None:
+                    continue
+                match, positions, table = found
+                slot_leaves = node_leaves[slot]
+                leaves = tuple(slot_leaves[p] for p in positions)
+                cell = match.cell
+                node_arrival = (
+                    max((arrival_list[leaf] for leaf in leaves), default=0.0)
+                    + cell.delay.fo4_average
+                )
+                references = max(fanout[node], 1)
+                node_area_flow = (
+                    cell.area + sum(area_flow_list[leaf] for leaf in leaves)
+                ) / references
+                candidate = _NodeChoice(match, leaves, table, node_arrival, node_area_flow)
+                if best is None:
+                    best = candidate
+                    continue
+                if objective == "delay":
+                    better = (
+                        candidate.arrival < best.arrival - 1e-9
+                        or (
+                            abs(candidate.arrival - best.arrival) <= 1e-9
+                            and candidate.area_flow < best.area_flow - 1e-9
+                        )
+                    )
+                else:
+                    better = (
+                        candidate.area_flow < best.area_flow - 1e-9
+                        or (
+                            abs(candidate.area_flow - best.area_flow) <= 1e-9
+                            and candidate.arrival < best.arrival - 1e-9
+                        )
+                    )
+                if better:
+                    best = candidate
             if best is None:
-                best = candidate
+                raise MappingError(
+                    f"node {node} of {aig.name!r} has no matching cell in library "
+                    f"{library.name!r}"
+                )
+            choices[node] = best
+            arrival_list[node] = best.arrival
+            area_flow_list[node] = best.area_flow
+
+    with profiling.stage("cover"):
+        # Covering: walk back from the primary outputs.
+        required: list[int] = []
+        seen: set[int] = set()
+        stack = [lit_node(literal) for literal in aig.po_literals]
+        while stack:
+            node = stack.pop()
+            if node in seen or node == 0 or aig.is_pi(node):
                 continue
-            if objective == "delay":
-                better = (
-                    candidate.arrival < best.arrival - 1e-9
-                    or (
-                        abs(candidate.arrival - best.arrival) <= 1e-9
-                        and candidate.area_flow < best.area_flow - 1e-9
-                    )
-                )
-            else:
-                better = (
-                    candidate.area_flow < best.area_flow - 1e-9
-                    or (
-                        abs(candidate.area_flow - best.area_flow) <= 1e-9
-                        and candidate.arrival < best.arrival - 1e-9
-                    )
-                )
-            if better:
-                best = candidate
-        if best is None:
-            raise MappingError(
-                f"node {node} of {aig.name!r} has no matching cell in library "
-                f"{library.name!r}"
-            )
-        choices[node] = best
-        arrival[node] = best.arrival
-        area_flow[node] = best.area_flow
+            seen.add(node)
+            required.append(node)
+            for leaf in choices[node].leaves:
+                stack.append(leaf)
 
-    # Covering: walk back from the primary outputs.
-    required: list[int] = []
-    seen: set[int] = set()
-    stack = [lit_node(literal) for literal in aig.po_literals]
-    while stack:
-        node = stack.pop()
-        if node in seen or node == 0 or aig.is_pi(node):
-            continue
-        seen.add(node)
-        required.append(node)
-        for leaf in choices[node].leaves:
-            stack.append(leaf)
-
-    gates: list[MappedGate] = []
-    for node in sorted(required):
-        choice = choices[node]
-        cell = choice.match.cell
-        effort = max(cell.delay.fo4_average - cell.delay.parasitic_output, 0.0) / 4.0
-        gates.append(
-            MappedGate(
-                output=node,
-                cell_name=cell.name,
-                function_id=cell.function_id,
-                leaves=choice.leaves,
-                table=choice.table,
-                area=cell.area,
-                intrinsic_delay=cell.delay.fo4_average,
-                parasitic_delay=cell.delay.parasitic_output,
-                effort_delay=effort,
+        gates: list[MappedGate] = []
+        for node in sorted(required):
+            choice = choices[node]
+            cell = choice.match.cell
+            effort = max(cell.delay.fo4_average - cell.delay.parasitic_output, 0.0) / 4.0
+            gates.append(
+                MappedGate(
+                    output=node,
+                    cell_name=cell.name,
+                    function_id=cell.function_id,
+                    leaves=choice.leaves,
+                    table=choice.table,
+                    area=cell.area,
+                    intrinsic_delay=cell.delay.fo4_average,
+                    parasitic_delay=cell.delay.parasitic_output,
+                    effort_delay=effort,
+                )
             )
+
+        mapped = MappedCircuit(
+            name=aig.name,
+            library_name=library.name,
+            tau_ps=library.tau_ps,
+            gates=gates,
+            primary_inputs=aig.pi_names,
+            primary_outputs=aig.po_names,
+            po_nodes=tuple(lit_node(literal) for literal in aig.po_literals),
         )
-
-    mapped = MappedCircuit(
-        name=aig.name,
-        library_name=library.name,
-        tau_ps=library.tau_ps,
-        gates=gates,
-        primary_inputs=aig.pi_names,
-        primary_outputs=aig.po_names,
-        po_nodes=tuple(lit_node(literal) for literal in aig.po_literals),
-    )
-    _compute_timing(mapped, aig)
+        _compute_timing(mapped, aig)
     return mapped
 
 

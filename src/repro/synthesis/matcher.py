@@ -43,7 +43,7 @@ from repro.logic.npn import (
     compose_matches,
     invert_match,
 )
-from repro.synthesis.cuts import project_table, table_support
+from repro.synthesis.cuts import project_table, register_cut_cache, table_support
 
 
 @dataclass(frozen=True)
@@ -72,15 +72,70 @@ def _delay_order(candidate: CellMatch) -> tuple[float, float, str]:
     return (candidate.delay, candidate.area, candidate.cell.name)
 
 
+_ALL_POSITIONS = tuple(tuple(range(n)) for n in range(8))
+
+
 class _MatcherBase:
     """The lookup interface shared by both matcher implementations."""
 
     library: GateLibrary
 
+    def cache_clear(self) -> None:
+        """Drop the per-matcher match memos (kept bounded between engine
+        batches through :func:`repro.synthesis.cuts.clear_cut_caches`)."""
+        self.__dict__.pop("_positions_memo", None)
+        memo = getattr(self, "_match_memo", None)
+        if memo is not None:
+            memo.clear()
+
     def match(
         self, num_leaves: int, table_bits: int, prefer: str = "delay"
     ) -> CellMatch | None:
         raise NotImplementedError
+
+    def match_positions(
+        self,
+        num_leaves: int,
+        table_bits: int,
+        prefer: str = "delay",
+        support_mask: int | None = None,
+    ) -> tuple[CellMatch, tuple[int, ...], int] | None:
+        """Match a cut function after projecting it onto its true support.
+
+        Returns the match, the leaf *positions* (indices into the cut's leaf
+        tuple) the matched table reads, and the reduced table bits -- or
+        ``None`` when the function is constant or no cell matches.  The
+        result depends only on ``(num_leaves, table_bits, prefer)``, so it is
+        memoized per matcher; the mapping DP resolves the position tuple
+        against each concrete cut's leaves.
+        """
+        memo = self.__dict__.get("_positions_memo")
+        if memo is None:
+            memo = self.__dict__["_positions_memo"] = {}
+        memo_key = (num_leaves, table_bits, prefer)
+        try:
+            return memo[memo_key]
+        except KeyError:
+            pass
+        if support_mask is None:
+            support_mask = table_support(table_bits, num_leaves)
+        result: tuple[CellMatch, tuple[int, ...], int] | None = None
+        if support_mask == 0:
+            pass
+        elif support_mask == (1 << num_leaves) - 1:
+            found = self.match(num_leaves, table_bits, prefer)
+            if found is not None:
+                result = (found, _ALL_POSITIONS[num_leaves], table_bits)
+        else:
+            reduced_bits = project_table(table_bits, num_leaves, support_mask)
+            support = tuple(
+                p for p in range(num_leaves) if (support_mask >> p) & 1
+            )
+            found = self.match(len(support), reduced_bits, prefer)
+            if found is not None:
+                result = (found, support, reduced_bits)
+        memo[memo_key] = result
+        return result
 
     def match_reduced(
         self,
@@ -96,24 +151,17 @@ class _MatcherBase:
         (:attr:`repro.synthesis.cuts.Cut.support`) to skip rederiving it.
         Returns the match, the reduced leaf tuple (in the order seen by the
         matched table) and the reduced table bits, or ``None`` when no cell
-        matches.
+        matches.  Thin wrapper over :meth:`match_positions`.
         """
-        num_leaves = len(leaves)
-        if support_mask is None:
-            support_mask = table_support(table_bits, num_leaves)
-        if support_mask == 0:
-            return None
-        if support_mask == (1 << num_leaves) - 1:
-            found = self.match(num_leaves, table_bits, prefer)
-            if found is None:
-                return None
-            return found, leaves, table_bits
-        reduced_bits = project_table(table_bits, num_leaves, support_mask)
-        support = [p for p in range(num_leaves) if (support_mask >> p) & 1]
-        found = self.match(len(support), reduced_bits, prefer)
+        found = self.match_positions(
+            len(leaves), table_bits, prefer=prefer, support_mask=support_mask
+        )
         if found is None:
             return None
-        return found, tuple(leaves[p] for p in support), reduced_bits
+        match, positions, reduced_bits = found
+        if len(positions) == len(leaves):
+            return match, tuple(leaves), reduced_bits
+        return match, tuple(leaves[p] for p in positions), reduced_bits
 
 
 class LibraryMatcher(_MatcherBase):
@@ -281,6 +329,23 @@ def matcher_for(
         cached = factory(library, allow_output_negation=allow_output_negation)
         _MATCHER_CACHE[key] = cached
     return cached
+
+
+class _MatcherMemoSweeper:
+    """Clears the match memos of every cached matcher.
+
+    Matchers live in :data:`_MATCHER_CACHE` for the whole process, so their
+    per-function memos would otherwise grow without bound across repeated
+    large-benchmark runs; registering this sweeper folds them into the
+    engine's between-batch :func:`repro.synthesis.cuts.clear_cut_caches`.
+    """
+
+    def cache_clear(self) -> None:
+        for matcher in _MATCHER_CACHE.values():
+            matcher.cache_clear()
+
+
+register_cut_cache(_MatcherMemoSweeper())
 
 
 def _depends_on(table: int, num_vars: int, position: int) -> bool:

@@ -21,6 +21,8 @@ is where most of the practical reduction comes from.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.synthesis.aig import (
     Aig,
     AigLiteral,
@@ -30,7 +32,8 @@ from repro.synthesis.aig import (
     lit_is_complemented,
     lit_node,
 )
-from repro.synthesis.cuts import enumerate_cuts
+from repro.synthesis.aig_array import aig_arrays
+from repro.synthesis.cuts import cut_set_for, register_cut_cache
 
 
 def balance(aig: Aig) -> Aig:
@@ -41,7 +44,7 @@ def balance(aig: Aig) -> Aig:
     sorting the leaves by their current depth so that late-arriving signals
     traverse fewer levels (same heuristic as ABC's ``balance``).
     """
-    fanout = aig.fanout_counts()
+    fanout = aig_arrays(aig).fanout.tolist()
     new = Aig(aig.name)
     mapping: dict[int, AigLiteral] = {0: CONST0}
     for name in aig.pi_names:
@@ -98,13 +101,17 @@ def balance(aig: Aig) -> Aig:
     return new.cleanup()
 
 
-def _isop(table: int, num_vars: int) -> list[tuple[int, int]]:
-    """Irredundant sum of products of a truth table (cube list).
+@lru_cache(maxsize=1 << 16)
+def _isop(table: int, num_vars: int) -> tuple[tuple[int, int], ...]:
+    """Irredundant sum of products of a truth table (cube tuple).
 
     Each cube is a pair ``(care_mask, value_mask)``: variable *i* appears
     positively when bit *i* is set in both masks, negatively when set in
     ``care_mask`` only.  Uses a simple expand-greedy cover; optimality is not
-    required, only irredundancy.
+    required, only irredundancy.  Memoized (and registered with
+    :func:`repro.synthesis.cuts.clear_cut_caches`): the rewrite pass asks for
+    the cover of both polarities of every cut function, and distinct K<=4
+    functions are few across a whole flow.
     """
     size = 1 << num_vars
     full = (1 << size) - 1
@@ -134,7 +141,10 @@ def _isop(table: int, num_vars: int) -> list[tuple[int, int]]:
                 others |= coverage[j]
         if index in kept and not (coverage[index] & ~others):
             kept.remove(index)
-    return [cubes[i] for i in kept]
+    return tuple(cubes[i] for i in kept)
+
+
+register_cut_cache(_isop)
 
 
 def _cube_minterms(num_vars: int, care: int, value: int) -> int:
@@ -154,7 +164,7 @@ def _cube_inside(table: int, num_vars: int, care: int, value: int) -> bool:
 
 
 def _synthesize_sop(
-    aig: Aig, leaves: list[AigLiteral], cubes: list[tuple[int, int]], num_vars: int
+    aig: Aig, leaves: list[AigLiteral], cubes: tuple[tuple[int, int], ...], num_vars: int
 ) -> AigLiteral:
     """Build an AND-OR implementation of a cube cover."""
     terms: list[AigLiteral] = []
@@ -181,7 +191,8 @@ def rewrite(aig: Aig, max_inputs: int = 4) -> Aig:
     increases the size of an individual cone beyond its SOP cost but may keep
     the existing structure when that is cheaper.
     """
-    cuts = enumerate_cuts(aig, max_inputs=max_inputs, cut_limit=4)
+    cut_set = cut_set_for(aig, max_inputs=max_inputs, cut_limit=4)
+    cut_count, cut_size, cut_leaves, cut_table, _ = cut_set.as_python()
     new = Aig(aig.name)
     mapping: dict[int, AigLiteral] = {0: CONST0}
     for name in aig.pi_names:
@@ -193,14 +204,18 @@ def rewrite(aig: Aig, max_inputs: int = 4) -> Aig:
     for node in aig.and_nodes():
         best_literal: AigLiteral | None = None
         best_cost: int | None = None
-        for cut in cuts[node]:
-            if cut.size == 1:
+        node_sizes = cut_size[node]
+        node_leaves = cut_leaves[node]
+        node_tables = cut_table[node]
+        for slot in range(cut_count[node]):
+            num_vars = node_sizes[slot]
+            if num_vars == 1:
                 continue
-            if any(leaf not in mapping for leaf in cut.leaves):
+            cut_leaf_ids = node_leaves[slot][:num_vars]
+            if any(leaf not in mapping for leaf in cut_leaf_ids):
                 continue
-            leaves = [mapping[leaf] for leaf in cut.leaves]
-            num_vars = cut.size
-            table = cut.table
+            leaves = [mapping[leaf] for leaf in cut_leaf_ids]
+            table = node_tables[slot]
             size_before = new.num_ands
             positive = _isop(table, num_vars)
             negative = _isop(~table & ((1 << (1 << num_vars)) - 1), num_vars)
