@@ -1,0 +1,104 @@
+"""Benchmark: the power-analysis lane (activities, netlist power, Pareto).
+
+Times the three layers of the analysis subsystem on mid-size benchmarks --
+exact and Monte-Carlo activity propagation, full netlist power analysis of a
+mapped circuit, power-objective mapping and a whole-benchmark Pareto sweep
+-- and asserts the paper's energy story: the pseudo family trades nonzero
+static power for the lowest switched capacitance, the CMOS reference burns
+the most dynamic power, and the power-objective mapping never loses to the
+delay mapping on total power.  Results are exported as pytest-benchmark
+JSON (``power_bench.json``) by the nightly CI job and guarded against the
+committed baseline (``benchmarks/baselines/power_bench_baseline.json``).
+"""
+
+import pytest
+
+from repro.analysis.activity import (
+    compute_activities,
+    exact_activities,
+    monte_carlo_activities,
+)
+from repro.analysis.power import analyze_power
+from repro.bench.registry import benchmark_by_name
+from repro.core.families import LogicFamily
+from repro.experiments.engine import ExperimentEngine
+from repro.experiments.pareto import run_pareto
+from repro.flow import run_flow
+from repro.synthesis.mapper import technology_map
+
+pytestmark = [pytest.mark.slow, pytest.mark.power]
+
+
+@pytest.fixture(scope="module")
+def subject_aig():
+    return run_flow("resyn2rs", benchmark_by_name("C1908").build()).aig
+
+
+@pytest.fixture(scope="module")
+def activities(subject_aig):
+    return compute_activities(subject_aig)
+
+
+def test_bench_exact_activities(benchmark):
+    # t481: 16 inputs, the largest exact enumeration in the default suite.
+    aig = benchmark_by_name("t481").build()
+    report = benchmark(exact_activities, aig, 16)
+    assert report.method == "exact"
+    assert report.patterns == 1 << 16
+
+
+def test_bench_monte_carlo_activities(benchmark, subject_aig):
+    report = benchmark(monte_carlo_activities, subject_aig, 1024, 2009)
+    assert report.method == "monte-carlo"
+    assert report.patterns == 1024 * 64
+
+
+def test_bench_netlist_power_all_families(benchmark, subject_aig, activities, matchers, libraries):
+    def analyze_all():
+        reports = {}
+        for family, library in libraries.items():
+            mapped = technology_map(
+                subject_aig, library, matcher=matchers[family]
+            )
+            reports[family] = analyze_power(mapped, subject_aig, library, activities)
+        return reports
+
+    reports = benchmark(analyze_all)
+    assert reports[LogicFamily.TG_PSEUDO].static > 0
+    assert reports[LogicFamily.TG_STATIC].static == 0.0
+    assert reports[LogicFamily.CMOS].static == 0.0
+    assert (
+        reports[LogicFamily.CMOS].dynamic > reports[LogicFamily.TG_STATIC].dynamic
+    )
+
+
+def test_bench_power_objective_mapping(benchmark, subject_aig, activities, matchers, libraries):
+    library = libraries[LogicFamily.TG_PSEUDO]
+    mapped = benchmark(
+        technology_map,
+        subject_aig,
+        library,
+        matchers[LogicFamily.TG_PSEUDO],
+        "power",
+        activities=activities,
+    )
+    power_mapped = analyze_power(mapped, subject_aig, library, activities)
+    delay_mapped = analyze_power(
+        technology_map(subject_aig, library, matcher=matchers[LogicFamily.TG_PSEUDO]),
+        subject_aig,
+        library,
+        activities,
+    )
+    assert power_mapped.total <= delay_mapped.total
+
+
+def test_bench_pareto_sweep(benchmark):
+    result = benchmark(
+        run_pareto,
+        ("C1908",),
+        (LogicFamily.TG_STATIC, LogicFamily.TG_PSEUDO, LogicFamily.CMOS),
+        engine=ExperimentEngine(jobs=1, use_cache=False),
+    )
+    row = result.row("C1908")
+    assert row.front
+    assert any(p.family is LogicFamily.TG_PSEUDO for p in row.front)

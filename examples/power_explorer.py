@@ -1,0 +1,87 @@
+"""Explore the power/energy axis: static-vs-pseudo tradeoff and Pareto front.
+
+The paper's pseudo families buy speed and area by burning static power
+through their weak pull-up loads; this example makes the tradeoff concrete
+for one benchmark.  It prints
+
+1. the cell-level view -- the switched capacitance and standing current of a
+   few representative cells in the static and pseudo TG families;
+2. the netlist view -- dynamic + static power of the benchmark mapped onto
+   every logic family under every mapping objective; and
+3. the area/delay/power Pareto front across all families and objectives
+   (the points a designer would actually choose from).
+
+Run with:  python examples/power_explorer.py [benchmark]  (default: C1908)
+"""
+
+import sys
+
+from repro.analysis.activity import compute_activities
+from repro.analysis.power import analyze_power
+from repro.bench.registry import benchmark_by_name
+from repro.core.families import LogicFamily
+from repro.core.library import build_library
+from repro.experiments.engine import ExperimentEngine
+from repro.experiments.pareto import render_pareto, run_pareto
+from repro.flow import run_flow
+from repro.synthesis.mapper import technology_map
+from repro.synthesis.matcher import matcher_for
+
+SHOWCASE = ("F00", "F05", "F12", "F29")
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "C1908"
+
+    print("Cell-level power characterization (normalized units):")
+    print(f"{'cell':<16} {'family':<18} {'C_switched':>10} {'I_static(low)':>14}")
+    for family in (LogicFamily.TG_STATIC, LogicFamily.TG_PSEUDO):
+        library = build_library(family)
+        for function_id in SHOWCASE:
+            cell = library.cell(function_id)
+            report = cell.power
+            print(
+                f"{cell.function_id:<16} {family.value:<18} "
+                f"{report.switched_capacitance:>10.3f} "
+                f"{report.static_current_low:>14.4f}"
+            )
+    print()
+
+    aig = run_flow("resyn2rs", benchmark_by_name(name).build()).aig
+    activities = compute_activities(aig)
+    print(
+        f"{name}: {aig.num_ands} AND nodes, signal statistics via "
+        f"{activities.method} ({activities.patterns} patterns)\n"
+    )
+
+    print("Mapped-netlist power per family and mapping objective:")
+    header = (
+        f"{'family':<22} {'objective':<9} {'area':>9} {'delay ps':>9} "
+        f"{'dynamic':>9} {'static':>8} {'total':>9}"
+    )
+    print(header)
+    for family in LogicFamily:
+        library = build_library(family)
+        matcher = matcher_for(library)
+        for objective in ("delay", "area", "power"):
+            mapped = technology_map(
+                aig, library, matcher=matcher,
+                objective=objective, activities=activities,
+            )
+            power = analyze_power(mapped, aig, library, activities)
+            print(
+                f"{family.value:<22} {objective:<9} {mapped.area:>9.1f} "
+                f"{mapped.absolute_delay_ps:>9.1f} "
+                f"{power.dynamic + power.input_dynamic:>9.2f} "
+                f"{power.static:>8.2f} {power.total:>9.2f}"
+            )
+    print()
+
+    result = run_pareto(
+        benchmark_names=(name,), engine=ExperimentEngine(jobs=1, use_cache=False)
+    )
+    print(render_pareto(result))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Power/energy and timing analysis subsystem.
+
+Three layers, each consuming the one below (data flow documented in
+``ARCHITECTURE.md``):
+
+1. **Cell power characterization** (:mod:`repro.analysis.cell_power`) --
+   per-cell switched capacitances and pseudo-family static currents computed
+   from the sized transistor netlists, cached on
+   :class:`~repro.core.cell.LibraryCell` like the delay report.
+2. **Activities and netlist power** (:mod:`repro.analysis.activity`,
+   :mod:`repro.analysis.power`, :mod:`repro.analysis.timing`) -- exact
+   word-parallel or Monte-Carlo signal probabilities/switching activities of
+   an AIG, total dynamic + static power of a mapped circuit, and the
+   arrival/required/slack timing report.
+3. **Power-aware mapping and Pareto experiments** -- ``objective="power"``
+   in :func:`repro.synthesis.mapper.technology_map` and
+   :mod:`repro.experiments.pareto`, both built on the first two layers.
+
+The package ``__init__`` resolves its exports lazily: ``repro.core.cell``
+characterizes power through this package, so importing everything eagerly
+here would create an import cycle through ``repro.core``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+__all__ = [
+    "ActivityReport",
+    "PowerReport",
+    "NetlistPower",
+    "TimingReport",
+    "analyze_power",
+    "characterize_power",
+    "compute_activities",
+    "compute_timing",
+    "exact_activities",
+    "monte_carlo_activities",
+]
+
+_EXPORTS = {
+    "PowerReport": ("repro.analysis.cell_power", "PowerReport"),
+    "characterize_power": ("repro.analysis.cell_power", "characterize_power"),
+    "ActivityReport": ("repro.analysis.activity", "ActivityReport"),
+    "compute_activities": ("repro.analysis.activity", "compute_activities"),
+    "exact_activities": ("repro.analysis.activity", "exact_activities"),
+    "monte_carlo_activities": ("repro.analysis.activity", "monte_carlo_activities"),
+    "NetlistPower": ("repro.analysis.power", "NetlistPower"),
+    "analyze_power": ("repro.analysis.power", "analyze_power"),
+    "TimingReport": ("repro.analysis.timing", "TimingReport"),
+    "compute_timing": ("repro.analysis.timing", "compute_timing"),
+}
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.activity import (
+        ActivityReport,
+        compute_activities,
+        exact_activities,
+        monte_carlo_activities,
+    )
+    from repro.analysis.cell_power import PowerReport, characterize_power
+    from repro.analysis.power import NetlistPower, analyze_power
+    from repro.analysis.timing import TimingReport, compute_timing
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attribute)

@@ -1,0 +1,189 @@
+"""Total dynamic + static power of a technology-mapped circuit.
+
+The classic switched-capacitance model: normalized dynamic power is the sum
+over nets of ``activity * capacitance`` where the activity comes from the
+word-parallel signal-statistics engine (:mod:`repro.analysis.activity`) and
+the capacitance of a net is
+
+* the driving cell's switched output capacitance (output node plus half the
+  internal stack parasitics, :class:`~repro.analysis.cell_power.PowerReport`),
+* plus the input capacitance of every sink pin the net drives (the exact pin
+  polarities resolved by the matcher and recorded as
+  :attr:`MappedGate.leaf_loads`),
+* plus one unit input capacitance per primary-output load (the paper's
+  load convention, matching the timing model).
+
+Normalized static power is the pseudo-family standing current: for every
+gate whose cell carries the weak always-on load, the characterized mean
+output-low current weighted by the probability that the pull-down network
+conducts (which is the probability that the cell's Table-1 function is true
+under the bound pins, i.e. the mapped node's signal probability,
+complemented when the matcher used the inverted output polarity).  Static
+families and the CMOS reference contribute exactly zero.
+
+Everything is a pure function of ``(mapped circuit, activity report)``, so
+power figures are bit-identical across runs, processes and cache replays --
+the property the Pareto experiment lane relies on.
+
+Units: normalized capacitance (multiples of the unit inverter input
+capacitance) switched per cycle at ``Vdd = 1`` for dynamic power, normalized
+current (``Vdd`` over the unit device resistance) for static power.  The two
+are reported separately and as a sum; converting to watts would additionally
+require the technology's absolute ``C``, ``Vdd`` and clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.activity import (
+    DEFAULT_SEED,
+    DEFAULT_VECTORS,
+    ActivityReport,
+    compute_activities,
+)
+from repro.core.library import GateLibrary
+from repro.synthesis.aig import Aig
+from repro.synthesis.mapper import MappedCircuit
+
+#: Capacitance presented by one primary-output load (one unit inverter input).
+PO_LOAD = 1.0
+
+
+@dataclass(frozen=True)
+class GatePower:
+    """Per-instance power breakdown (dynamic charged at the output net)."""
+
+    output: int
+    cell_name: str
+    activity: float
+    net_capacitance: float
+    dynamic: float
+    static: float
+
+    @property
+    def total(self) -> float:
+        return self.dynamic + self.static
+
+
+@dataclass(frozen=True)
+class NetlistPower:
+    """Power report of one mapped circuit (see module docstring for units)."""
+
+    name: str
+    library_name: str
+    #: Signal-statistics provenance (``"exact"`` / ``"monte-carlo"``, pattern
+    #: count, seed) -- recorded so archived figures stay comparable.
+    method: str
+    patterns: int
+    seed: int | None
+    #: Dynamic power of the gate-driven nets.
+    dynamic: float
+    #: Dynamic power of the primary-input nets (sink pins they drive).
+    input_dynamic: float
+    #: Total standing pseudo-family current.
+    static: float
+    gates: tuple[GatePower, ...]
+
+    @property
+    def total(self) -> float:
+        return self.dynamic + self.input_dynamic + self.static
+
+    def statistics(self) -> dict[str, float]:
+        return {
+            "dynamic": self.dynamic,
+            "input_dynamic": self.input_dynamic,
+            "static": self.static,
+            "total": self.total,
+        }
+
+
+def analyze_power(
+    mapped: MappedCircuit,
+    aig: Aig,
+    library: GateLibrary,
+    activities: ActivityReport | None = None,
+    vectors: int = DEFAULT_VECTORS,
+    seed: int = DEFAULT_SEED,
+) -> NetlistPower:
+    """Compute total dynamic + static power of a mapped circuit.
+
+    ``aig`` is the subject graph the circuit was mapped from (node ids of
+    the mapped netlist refer to it); ``activities`` may be shared across the
+    mapping and the analysis -- when omitted it is computed with the default
+    exact/Monte-Carlo policy and the given ``vectors``/``seed``.
+    """
+    if activities is None:
+        activities = compute_activities(aig, vectors=vectors, seed=seed)
+    activity = activities.activity
+    probability = activities.probability
+
+    cells = {cell.name: cell for cell in library.cells}
+
+    # Sink loads per net: the recorded pin capacitances of every gate input,
+    # plus one unit load per primary output.
+    sink_load: dict[int, float] = {}
+    for gate in mapped.gates:
+        loads = gate.leaf_loads
+        if len(loads) != len(gate.leaves):
+            # Hand-built netlists may omit the pin bindings; fall back to the
+            # cell's mean per-signal input capacitance.
+            average = cells[gate.cell_name].power.input_capacitance_average
+            loads = (average,) * len(gate.leaves)
+        for leaf, cap in zip(gate.leaves, loads):
+            sink_load[leaf] = sink_load.get(leaf, 0.0) + cap
+    for node in mapped.po_nodes:
+        sink_load[node] = sink_load.get(node, 0.0) + PO_LOAD
+
+    gate_outputs = {gate.output for gate in mapped.gates}
+
+    dynamic = 0.0
+    static = 0.0
+    per_gate: list[GatePower] = []
+    for gate in sorted(mapped.gates, key=lambda g: g.output):
+        cell = cells[gate.cell_name]
+        report = cell.power
+        net_capacitance = report.switched_capacitance + sink_load.get(
+            gate.output, 0.0
+        )
+        net_activity = float(activity[gate.output])
+        gate_dynamic = net_activity * net_capacitance
+        probability_on = float(probability[gate.output])
+        if gate.inverted:
+            probability_on = 1.0 - probability_on
+        gate_static = report.static_power(probability_on)
+        dynamic += gate_dynamic
+        static += gate_static
+        per_gate.append(
+            GatePower(
+                output=gate.output,
+                cell_name=gate.cell_name,
+                activity=net_activity,
+                net_capacitance=net_capacitance,
+                dynamic=gate_dynamic,
+                static=gate_static,
+            )
+        )
+
+    # Primary-input nets switch the pins they drive (no driver capacitance:
+    # the input driver sits outside the circuit under analysis).
+    input_dynamic = 0.0
+    for name in aig.pi_names:
+        node = aig.pi_literal(name) >> 1
+        if node in gate_outputs:
+            continue
+        load = sink_load.get(node, 0.0)
+        if load:
+            input_dynamic += float(activity[node]) * load
+
+    return NetlistPower(
+        name=mapped.name,
+        library_name=mapped.library_name,
+        method=activities.method,
+        patterns=activities.patterns,
+        seed=activities.seed,
+        dynamic=dynamic,
+        input_dynamic=input_dynamic,
+        static=static,
+        gates=tuple(per_gate),
+    )

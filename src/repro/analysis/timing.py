@@ -1,0 +1,154 @@
+"""Static timing analysis of a mapped netlist (arrival/required/slack).
+
+Generalizes the mapper's historical ``_compute_timing``: the same
+fanout-scaled gate-delay model (``parasitic + effort_per_load * loads``,
+one load per structural fanout, primary outputs counting as one load,
+paper Sec. 4.4), but walking the gates in true topological order
+(:func:`repro.synthesis.mapper.topological_gates`) and producing the full
+:class:`TimingReport` -- per-net arrival, required time and slack plus the
+critical path -- instead of only the worst PO arrival and the logic depth.
+
+The worst PO arrival of this engine is by construction identical to the
+``normalized_delay`` the mapper records on the circuit, which the unit tests
+pin for every Table-3 benchmark and library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.synthesis.mapper import MappedCircuit, MappedGate, topological_gates
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Arrival/required/slack view of one mapped circuit.
+
+    All times are in units of the technology intrinsic delay ``tau`` (the
+    mapper's normalized-delay convention).  Nets are keyed by the driving
+    node id: gate outputs, plus primary-input/constant nodes at arrival 0.
+    """
+
+    #: Worst primary-output arrival time (== ``MappedCircuit.normalized_delay``).
+    normalized_delay: float
+    #: Logic depth on the longest PI-to-PO gate path.
+    levels: int
+    #: Arrival time per net.
+    arrival: dict[int, float]
+    #: Required time per net against the worst PO arrival as the deadline.
+    required: dict[int, float]
+    #: ``required - arrival`` per net; >= 0 everywhere, 0 on the critical path.
+    slack: dict[int, float]
+    #: Gate output ids along one critical path, input side first.
+    critical_path: tuple[int, ...]
+
+    def worst_slack(self) -> float:
+        return min(self.slack.values(), default=0.0)
+
+    def critical_gates(self, tolerance: float = 1e-9) -> tuple[int, ...]:
+        """Every net with slack within ``tolerance`` of zero."""
+        return tuple(
+            node for node, value in sorted(self.slack.items()) if value <= tolerance
+        )
+
+
+def gate_delay(gate: MappedGate, loads: int) -> float:
+    """Instance delay under the paper's load model (one unit per fanout)."""
+    return gate.parasitic_delay + gate.effort_delay * max(loads, 1)
+
+
+def compute_timing(mapped: MappedCircuit) -> TimingReport:
+    """Compute the full timing report of a mapped circuit."""
+    gate_by_output = {gate.output: gate for gate in mapped.gates}
+    fanout_count: dict[int, int] = {gate.output: 0 for gate in mapped.gates}
+    for gate in mapped.gates:
+        for leaf in gate.leaves:
+            if leaf in fanout_count:
+                fanout_count[leaf] += 1
+    for node in mapped.po_nodes:
+        if node in fanout_count:
+            fanout_count[node] += 1
+
+    order = topological_gates(mapped.gates)
+
+    # Forward pass: arrival times and logic depth.  Leaves that are not gate
+    # outputs (primary inputs, the constant node) arrive at time 0.
+    arrival: dict[int, float] = {}
+    depth: dict[int, int] = {}
+    delays: dict[int, float] = {}
+    for gate in order:
+        delay = gate_delay(gate, fanout_count.get(gate.output, 1))
+        delays[gate.output] = delay
+        arrival[gate.output] = (
+            max((arrival.get(leaf, 0.0) for leaf in gate.leaves), default=0.0) + delay
+        )
+        depth[gate.output] = (
+            max((depth.get(leaf, 0) for leaf in gate.leaves), default=0) + 1
+        )
+
+    normalized_delay = max(
+        (arrival.get(node, 0.0) for node in mapped.po_nodes), default=0.0
+    )
+    levels = max((depth.get(node, 0) for node in mapped.po_nodes), default=0)
+
+    # Every referenced non-gate net (PIs, constant) appears with arrival 0 so
+    # slack is reported for the whole net set.
+    for gate in mapped.gates:
+        for leaf in gate.leaves:
+            arrival.setdefault(leaf, 0.0)
+    for node in mapped.po_nodes:
+        arrival.setdefault(node, 0.0)
+
+    # Backward pass: required times against the worst PO arrival.
+    required: dict[int, float] = {node: float("inf") for node in arrival}
+    for node in mapped.po_nodes:
+        required[node] = min(required[node], normalized_delay)
+    for gate in reversed(order):
+        gate_required = required[gate.output]
+        budget = gate_required - delays[gate.output]
+        for leaf in gate.leaves:
+            if budget < required[leaf]:
+                required[leaf] = budget
+    # Unconstrained nets (no path to a PO survived covering) get zero slack
+    # margin against their own arrival rather than an infinite required time.
+    slack = {
+        node: (required[node] - arrival[node])
+        if required[node] != float("inf")
+        else 0.0
+        for node in arrival
+    }
+    for node, value in required.items():
+        if value == float("inf"):
+            required[node] = arrival[node]
+
+    # Critical path: walk back from the worst PO, always following a leaf
+    # whose arrival accounts for the gate's arrival (first such leaf wins,
+    # deterministically).
+    critical: list[int] = []
+    start = None
+    for node in mapped.po_nodes:
+        if start is None or arrival.get(node, 0.0) > arrival.get(start, 0.0):
+            start = node
+    node = start
+    while node is not None and node in gate_by_output:
+        critical.append(node)
+        gate = gate_by_output[node]
+        target = arrival[node] - delays[node]
+        next_node = None
+        for leaf in gate.leaves:
+            if abs(arrival.get(leaf, 0.0) - target) <= 1e-9:
+                next_node = leaf
+                break
+        if next_node is None or next_node not in gate_by_output:
+            break
+        node = next_node
+    critical.reverse()
+
+    return TimingReport(
+        normalized_delay=normalized_delay,
+        levels=levels,
+        arrival=arrival,
+        required=required,
+        slack=slack,
+        critical_path=tuple(critical),
+    )

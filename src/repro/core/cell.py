@@ -15,6 +15,8 @@ output polarities of every cell.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
+from typing import TYPE_CHECKING
 
 from repro.circuits.area import cell_area
 from repro.circuits.delay import DelayReport, characterize_delay
@@ -23,6 +25,9 @@ from repro.circuits.sp_network import network_from_expr
 from repro.circuits.switch_sim import simulate_cell
 from repro.core.functions import FunctionSpec
 from repro.logic.truth_table import TruthTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.cell_power import PowerReport
 
 
 @dataclass(frozen=True)
@@ -54,6 +59,15 @@ class LibraryCell:
     def is_inverting(self) -> bool:
         """The natural cell output is the complement of the Table-1 function."""
         return True
+
+    @cached_property
+    def power(self) -> "PowerReport":
+        """Power characterization, computed on first use and cached like the
+        delay report (the import is local because the analysis package sits
+        above ``repro.core`` in the layering)."""
+        from repro.analysis.cell_power import characterize_power
+
+        return characterize_power(self.netlist)
 
     def delay_average_ps(self) -> float:
         return self.delay.scaled_average(self.netlist.technology.tau_ps)

@@ -7,14 +7,17 @@
   absolute-delay ratios (Figure 6);
 * :mod:`repro.experiments.report` -- text rendering and paper-vs-measured
   comparison helpers used by EXPERIMENTS.md and the pytest benchmarks;
+* :mod:`repro.experiments.pareto` -- per-benchmark area/delay/power Pareto
+  fronts across the logic families and mapping objectives;
 * :mod:`repro.experiments.engine` -- the parallel, cache-aware job engine
   the table/figure experiments are scheduled through.
 """
 
 from repro.experiments.engine import ExperimentEngine, MapJob, ResultCache
 from repro.experiments.table2 import Table2Result, run_table2
-from repro.experiments.table3 import Table3Result, Table3Row, run_table3
+from repro.experiments.table3 import PowerStats, Table3Result, Table3Row, run_table3
 from repro.experiments.figure6 import Figure6Result, run_figure6
+from repro.experiments.pareto import ParetoResult, render_pareto, run_pareto
 from repro.experiments.report import (
     render_table2,
     render_table3,
@@ -28,13 +31,17 @@ __all__ = [
     "ResultCache",
     "Table2Result",
     "run_table2",
+    "PowerStats",
     "Table3Row",
     "Table3Result",
     "run_table3",
     "Figure6Result",
     "run_figure6",
+    "ParetoResult",
+    "run_pareto",
     "render_table2",
     "render_table3",
     "render_figure6",
     "render_comparison",
+    "render_pareto",
 ]

@@ -36,6 +36,8 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.analysis.activity import DEFAULT_SEED, DEFAULT_VECTORS, compute_activities
+from repro.analysis.power import analyze_power
 from repro.bench.registry import benchmark_by_name
 from repro.core.characterize import (
     CellCharacterization,
@@ -50,6 +52,7 @@ from repro.experiments.table2 import FAMILY_KEYS, TABLE2_FAMILIES, Table2Result
 from repro.experiments.table3 import (
     TABLE3_FAMILIES,
     MappingStats,
+    PowerStats,
     Table3Result,
     Table3Row,
     _paper_row,
@@ -64,7 +67,11 @@ from repro.synthesis.matcher import matcher_for
 #: Bump when the meaning of cached payloads changes; old entries are then
 #: treated as misses and recomputed.  Schema 2: mapping jobs are keyed by
 #: synthesis-flow name + flow fingerprint instead of the optimize_first flag.
-CACHE_SCHEMA = 2
+#: Schema 3: mapping payloads grow the power axis (dynamic + static power of
+#: the mapped netlist), keyed additionally by the Monte-Carlo activity
+#: parameters (``power_vectors``/``power_seed``) and by the cells' power
+#: characterization via the extended library fingerprint.
+CACHE_SCHEMA = 3
 
 
 def default_cache_dir() -> Path:
@@ -102,12 +109,26 @@ def library_fingerprint(library: GateLibrary) -> str:
     digest = hashlib.sha256()
     digest.update(f"{library.name}:{library.tau_ps};".encode())
     for cell in library.cells:
+        power = cell.power
+        # The per-literal capacitance *distribution* matters, not just the
+        # total: the pin loads recorded on mapped gates (and the power DP)
+        # read individual polarity wires.
+        literal_caps = ",".join(
+            f"{literal.name}{'~' if literal.negated else ''}={cap:.9f}"
+            for literal, cap in sorted(
+                power.literal_capacitance.items(),
+                key=lambda item: (item[0].name, item[0].negated),
+            )
+        )
         digest.update(
             f"{cell.function_id}:{cell.name}:{cell.arity}:{cell.function.bits}:"
             f"{cell.expression_text}:{cell.transistor_count}:{int(cell.full_swing)}:"
             f"{cell.area:.9f}:{cell.area_with_inverter:.9f}:"
             f"{cell.delay.fo4_worst:.9f}:{cell.delay.fo4_average:.9f}:"
-            f"{cell.delay.parasitic_output:.9f};".encode()
+            f"{cell.delay.parasitic_output:.9f}:"
+            f"{power.switched_capacitance:.9f}:[{literal_caps}]:"
+            f"{power.static_current_low:.9f}:{power.static_current_average:.9f}:"
+            f"{power.low_state_fraction:.9f};".encode()
         )
     return digest.hexdigest()
 
@@ -120,7 +141,13 @@ def _family_fingerprint(family: LogicFamily) -> str:
 
 @dataclass(frozen=True)
 class MapJob:
-    """One (benchmark, library, objective, flow) unit of Table-3 work."""
+    """One (benchmark, library, objective, flow) unit of Table-3 work.
+
+    ``power_vectors``/``power_seed`` parameterize the Monte-Carlo activity
+    estimation behind the power axis (and the ``power`` mapping objective);
+    both are folded into the content-addressed cache key so results computed
+    under one signal-statistics configuration never satisfy another.
+    """
 
     benchmark: str
     family: LogicFamily
@@ -128,6 +155,8 @@ class MapJob:
     flow: str = DEFAULT_FLOW
     max_inputs: int = DEFAULT_MAX_INPUTS
     cut_limit: int = DEFAULT_CUT_LIMIT
+    power_vectors: int = DEFAULT_VECTORS
+    power_seed: int = DEFAULT_SEED
 
     def spec(self) -> tuple:
         """Picklable description handed to worker processes."""
@@ -138,6 +167,8 @@ class MapJob:
             self.flow,
             self.max_inputs,
             self.cut_limit,
+            self.power_vectors,
+            self.power_seed,
         )
 
 
@@ -147,6 +178,7 @@ class MapJobResult:
 
     job: MapJob
     stats: MappingStats
+    power: PowerStats
     aig_nodes: int
     aig_depth: int
     cached: bool
@@ -200,9 +232,28 @@ class ResultCache:
         os.replace(tmp, path)
 
 
+def _resolve_cases(benchmark_names: tuple[str, ...] | None):
+    """The Table-3 benchmark cases, optionally restricted to a subset."""
+    from repro.bench.registry import BENCHMARKS
+
+    if benchmark_names is None:
+        return BENCHMARKS
+    wanted = set(benchmark_names)
+    cases = tuple(case for case in BENCHMARKS if case.name in wanted)
+    missing = wanted - {case.name for case in cases}
+    if missing:
+        raise KeyError(f"unknown benchmarks requested: {sorted(missing)}")
+    return cases
+
+
 # Per-process memo of flow-optimized benchmark AIGs so the three family jobs
 # of one benchmark that land in the same process run the flow only once.
 _OPTIMIZED_AIGS: dict[tuple[str, str], Aig] = {}
+
+# Per-process memo of activity reports: the signal statistics depend only on
+# (benchmark, flow, vectors, seed), so the family x objective jobs of one
+# benchmark share a single propagation.
+_ACTIVITY_REPORTS: dict[tuple[str, str, int, int], object] = {}
 
 
 def _subject_aig(benchmark: str, flow: str) -> Aig:
@@ -228,10 +279,27 @@ def _subject_aig(benchmark: str, flow: str) -> Aig:
 
 def _run_map_job(spec: tuple) -> dict:
     """Execute one mapping job (worker-side; must stay picklable/pure)."""
-    benchmark, family_value, objective, flow, max_inputs, cut_limit = spec
+    (
+        benchmark,
+        family_value,
+        objective,
+        flow,
+        max_inputs,
+        cut_limit,
+        power_vectors,
+        power_seed,
+    ) = spec
     family = LogicFamily(family_value)
     aig = _subject_aig(benchmark, flow)
     library = build_library(family)
+    activity_key = (benchmark, flow, power_vectors, power_seed)
+    activities = _ACTIVITY_REPORTS.get(activity_key)
+    if activities is None:
+        with profiling.stage("activity"):
+            activities = compute_activities(
+                aig, vectors=power_vectors, seed=power_seed
+            )
+        _ACTIVITY_REPORTS[activity_key] = activities
     mapped = technology_map(
         aig,
         library,
@@ -239,7 +307,10 @@ def _run_map_job(spec: tuple) -> dict:
         objective=objective,
         max_inputs=max_inputs,
         cut_limit=cut_limit,
+        activities=activities,
     )
+    with profiling.stage("power"):
+        power = analyze_power(mapped, aig, library, activities)
     if profiling.active():
         # Attribution-only stage: check the mapped netlist against the
         # subject AIG on a deterministic packed pattern set so ``--profile``
@@ -255,6 +326,7 @@ def _run_map_job(spec: tuple) -> dict:
                 raise RuntimeError(f"mapped netlist of {aig.name!r} failed verification")
     return {
         "stats": asdict(MappingStats.from_mapped(mapped)),
+        "power": asdict(PowerStats.from_analysis(power)),
         "aig_nodes": aig.num_ands,
         "aig_depth": aig.depth(),
     }
@@ -361,6 +433,8 @@ class ExperimentEngine:
                 "flow_spec": get_flow(job.flow).fingerprint(),
                 "max_inputs": job.max_inputs,
                 "cut_limit": job.cut_limit,
+                "power_vectors": job.power_vectors,
+                "power_seed": job.power_seed,
             },
             sort_keys=True,
         )
@@ -401,6 +475,7 @@ class ExperimentEngine:
             # from the optimized AIGs pinned by _OPTIMIZED_AIGS -- the AIGs
             # themselves stay cached, only their cut arrays are released.
             clear_cut_caches()
+            _ACTIVITY_REPORTS.clear()
             for aig in _OPTIMIZED_AIGS.values():
                 aig.__dict__.pop("_cut_sets", None)
                 aig.__dict__.pop("_array_view", None)
@@ -409,6 +484,7 @@ class ExperimentEngine:
             results[job] = MapJobResult(
                 job=job,
                 stats=MappingStats(**payload["stats"]),
+                power=PowerStats(**payload["power"]),
                 aig_nodes=int(payload["aig_nodes"]),
                 aig_depth=int(payload["aig_depth"]),
                 cached=cached,
@@ -422,6 +498,8 @@ class ExperimentEngine:
         objective: str = "delay",
         flow: str = DEFAULT_FLOW,
         optimize_first: bool = True,
+        power_vectors: int = DEFAULT_VECTORS,
+        power_seed: int = DEFAULT_SEED,
     ) -> Table3Result:
         """Regenerate Table 3 through the job engine.
 
@@ -430,34 +508,41 @@ class ExperimentEngine:
         (kept for backward compatibility) and is rejected when combined with
         an explicitly selected flow.
         """
-        from repro.bench.registry import BENCHMARKS
-
         flow_name = resolve_flow(flow, optimize_first)
-
-        cases = BENCHMARKS
-        if benchmark_names is not None:
-            wanted = set(benchmark_names)
-            cases = tuple(case for case in BENCHMARKS if case.name in wanted)
-            missing = wanted - {case.name for case in cases}
-            if missing:
-                raise KeyError(f"unknown benchmarks requested: {sorted(missing)}")
+        cases = _resolve_cases(benchmark_names)
 
         jobs = [
-            MapJob(case.name, family, objective=objective, flow=flow_name)
+            MapJob(
+                case.name,
+                family,
+                objective=objective,
+                flow=flow_name,
+                power_vectors=power_vectors,
+                power_seed=power_seed,
+            )
             for case in cases
             for family in families
         ]
         by_job = self.run_map_jobs(jobs)
 
-        result = Table3Result(flow=flow_name)
+        result = Table3Result(flow=flow_name, objective=objective)
         for case in cases:
             stats: dict[LogicFamily, MappingStats] = {}
+            power: dict[LogicFamily, PowerStats] = {}
             aig_nodes = aig_depth = 0
             for family in families:
                 job_result = by_job[
-                    MapJob(case.name, family, objective=objective, flow=flow_name)
+                    MapJob(
+                        case.name,
+                        family,
+                        objective=objective,
+                        flow=flow_name,
+                        power_vectors=power_vectors,
+                        power_seed=power_seed,
+                    )
                 ]
                 stats[family] = job_result.stats
+                power[family] = job_result.power
                 aig_nodes = job_result.aig_nodes
                 aig_depth = job_result.aig_depth
             result.rows.append(
@@ -468,6 +553,7 @@ class ExperimentEngine:
                     aig_depth=aig_depth,
                     results=stats,
                     paper=_paper_row(case.name),
+                    power=power,
                 )
             )
         return result
@@ -525,6 +611,18 @@ class ExperimentEngine:
         """Regenerate the Figure-6 series (reuses the Table-3 job results)."""
         return figure6_from_table3(self.run_table3(benchmark_names=benchmark_names))
 
+    # -- pareto fronts -------------------------------------------------------
+
+    def run_pareto(self, benchmark_names: tuple[str, ...] | None = None, **kwargs):
+        """Per-benchmark area/delay/power Pareto fronts across the families.
+
+        Thin wrapper over :func:`repro.experiments.pareto.run_pareto` bound
+        to this engine; see that module for the family/objective knobs.
+        """
+        from repro.experiments.pareto import run_pareto
+
+        return run_pareto(benchmark_names=benchmark_names, engine=self, **kwargs)
+
     # -- artifacts -----------------------------------------------------------
 
     def write_artifacts(
@@ -533,8 +631,11 @@ class ExperimentEngine:
         table2: Table2Result | None = None,
         table3: Table3Result | None = None,
         figure6: Figure6Result | None = None,
+        pareto=None,
     ) -> list[Path]:
         """Write JSON artifacts for the given results; returns written paths."""
+        from repro.experiments.pareto import pareto_payload
+
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         written: list[Path] = []
@@ -542,6 +643,7 @@ class ExperimentEngine:
             "table2.json": table2_payload(table2) if table2 else None,
             "table3.json": table3_payload(table3) if table3 else None,
             "figure6.json": figure6_payload(figure6) if figure6 else None,
+            "pareto.json": pareto_payload(pareto) if pareto else None,
         }
         for filename, payload in payloads.items():
             if payload is None:
@@ -570,6 +672,7 @@ def table3_payload(result: Table3Result) -> dict:
     """JSON-ready view of a Table-3 result."""
     return {
         "flow": result.flow,
+        "objective": result.objective,
         "rows": [
             {
                 "name": row.name,
@@ -579,6 +682,10 @@ def table3_payload(result: Table3Result) -> dict:
                 "results": {
                     family.value: asdict(stats)
                     for family, stats in row.results.items()
+                },
+                "power": {
+                    family.value: asdict(stats)
+                    for family, stats in row.power.items()
                 },
             }
             for row in result.rows

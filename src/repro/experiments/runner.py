@@ -34,14 +34,32 @@ Scheduling goes through the parallel experiment engine
     computed under one flow never satisfy requests for another.
     ``--list-flows`` prints every registered flow and exits.
 
+``--objective {delay,area,power}``
+    Mapping objective of the Table-3 jobs (default: ``delay``).  The
+    selection is recorded in the ``table3.json`` metadata and in the cache
+    key.  ``power`` minimizes the activity-weighted switched-capacitance
+    flow (see :mod:`repro.analysis`).
+
+``--power-vectors N`` / ``--power-seed N``
+    Monte-Carlo signal-statistics parameters behind the power axis:
+    ``N * 64`` random patterns per benchmark with more primary inputs than
+    the exact-enumeration limit.  Both are folded into the cache key.
+
+``--pareto``
+    Additionally sweep every logic family under every mapping objective and
+    print the per-benchmark area/delay/power Pareto fronts
+    (:mod:`repro.experiments.pareto`); with ``--json DIR`` the sweep is
+    written as ``pareto.json``.
+
 ``--profile`` / ``--profile-out PATH``
-    Emit per-stage wall-clock timing (``optimize`` / ``cuts`` / ``match`` /
-    ``cover`` / ``verify``) as JSON -- to stdout with ``--profile``, to PATH
-    with ``--profile-out`` (which implies ``--profile``) -- so performance
-    work can attribute wins per pipeline stage.  Profiling forces
-    ``--jobs 1`` and disables the result cache: stage accounting lives in
-    the worker process and cached jobs skip every stage, so neither parallel
-    nor cached runs would produce attributable numbers.
+    Emit per-stage wall-clock timing (``optimize`` / ``activity`` /
+    ``cuts`` / ``match`` / ``cover`` / ``power`` / ``verify``) as JSON -- to
+    stdout with ``--profile``, to PATH with ``--profile-out`` (which implies
+    ``--profile``) -- so performance work can attribute wins per pipeline
+    stage.  Profiling forces ``--jobs 1`` and disables the result cache:
+    stage accounting lives in the worker process and cached jobs skip every
+    stage, so neither parallel nor cached runs would produce attributable
+    numbers.
 """
 
 from __future__ import annotations
@@ -52,9 +70,11 @@ import sys
 import time
 
 from repro import profiling
+from repro.analysis.activity import DEFAULT_SEED, DEFAULT_VECTORS
 from repro.experiments.engine import ExperimentEngine
 from repro.flow import DEFAULT_FLOW, available_flows, get_flow
 from repro.experiments.figure6 import figure6_from_table3
+from repro.experiments.pareto import render_pareto
 from repro.experiments.report import (
     render_comparison,
     render_figure6,
@@ -117,6 +137,33 @@ def main(argv: list[str] | None = None) -> int:
         help="print the registered synthesis flows and exit",
     )
     parser.add_argument(
+        "--objective",
+        choices=("delay", "area", "power"),
+        default="delay",
+        help="mapping objective for the Table-3 jobs (default: delay)",
+    )
+    parser.add_argument(
+        "--power-vectors",
+        type=int,
+        default=DEFAULT_VECTORS,
+        metavar="N",
+        help="Monte-Carlo 64-pattern words per input for the power axis "
+        f"(default: {DEFAULT_VECTORS})",
+    )
+    parser.add_argument(
+        "--power-seed",
+        type=int,
+        default=DEFAULT_SEED,
+        metavar="N",
+        help=f"Monte-Carlo signal-statistics seed (default: {DEFAULT_SEED})",
+    )
+    parser.add_argument(
+        "--pareto",
+        action="store_true",
+        help="additionally sweep every family under every objective and "
+        "print the per-benchmark area/delay/power Pareto fronts",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="emit per-stage timing JSON (optimize/cuts/match/cover/verify) "
@@ -158,21 +205,40 @@ def main(argv: list[str] | None = None) -> int:
     print(render_table2(table2, per_cell=args.per_cell))
     print()
 
-    table3 = figure6 = None
+    table3 = figure6 = pareto = None
     if not args.skip_table3:
         names = tuple(args.benchmarks) if args.benchmarks else None
-        table3 = engine.run_table3(benchmark_names=names, flow=args.flow)
+        table3 = engine.run_table3(
+            benchmark_names=names,
+            flow=args.flow,
+            objective=args.objective,
+            power_vectors=args.power_vectors,
+            power_seed=args.power_seed,
+        )
         figure6 = figure6_from_table3(table3)
-        print(f"[flow: {args.flow}]")
+        print(f"[flow: {args.flow}; objective: {args.objective}]")
         print(render_table3(table3))
         print()
         print(render_figure6(figure6))
         print()
         print(render_comparison(table3))
 
+    if args.pareto:
+        # The Pareto sweep schedules its own mapping jobs, so it also runs
+        # (and is written) when Table 3 itself is skipped.
+        names = tuple(args.benchmarks) if args.benchmarks else None
+        pareto = engine.run_pareto(
+            benchmark_names=names,
+            flow=args.flow,
+            power_vectors=args.power_vectors,
+            power_seed=args.power_seed,
+        )
+        print()
+        print(render_pareto(pareto))
+
     if args.json is not None:
         written = engine.write_artifacts(
-            args.json, table2=table2, table3=table3, figure6=figure6
+            args.json, table2=table2, table3=table3, figure6=figure6, pareto=pareto
         )
         print(f"\nwrote {', '.join(str(path) for path in written)}")
 

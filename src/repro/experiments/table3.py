@@ -51,6 +51,37 @@ class MappingStats:
 
 
 @dataclass(frozen=True)
+class PowerStats:
+    """The power axis of one mapping: normalized dynamic/static power.
+
+    Computed by :mod:`repro.analysis.power` (see that module for units) and
+    carried alongside :class:`MappingStats` for every (benchmark, library)
+    pair; ``method``/``patterns``/``seed`` record the signal-statistics
+    provenance so archived figures stay comparable.
+    """
+
+    dynamic: float
+    input_dynamic: float
+    static: float
+    total: float
+    method: str
+    patterns: int
+    seed: int | None
+
+    @staticmethod
+    def from_analysis(analysis) -> "PowerStats":
+        return PowerStats(
+            dynamic=analysis.dynamic,
+            input_dynamic=analysis.input_dynamic,
+            static=analysis.static,
+            total=analysis.total,
+            method=analysis.method,
+            patterns=analysis.patterns,
+            seed=analysis.seed,
+        )
+
+
+@dataclass(frozen=True)
 class Table3Row:
     """Measured results for one benchmark across the three families."""
 
@@ -60,6 +91,8 @@ class Table3Row:
     aig_depth: int
     results: dict[LogicFamily, MappingStats]
     paper: PaperBenchmark | None
+    #: Power axis per family (same keys as ``results``).
+    power: dict[LogicFamily, PowerStats] = field(default_factory=dict)
 
     def improvement_vs_cmos(self, family: LogicFamily, metric: str) -> float:
         """Fractional reduction of a metric relative to the CMOS mapping."""
@@ -84,6 +117,16 @@ class Table3Result:
     #: Name of the synthesis flow the rows were produced under (recorded in
     #: the JSON artifacts so archived flow-sweep results stay tellable apart).
     flow: str = "resyn2rs"
+    #: Mapping objective the rows were produced under (recorded likewise).
+    objective: str = "delay"
+
+    def average_power(self, family: LogicFamily, component: str = "total") -> float:
+        values = [
+            getattr(row.power[family], component)
+            for row in self.rows
+            if family in row.power
+        ]
+        return sum(values) / len(values) if values else 0.0
 
     def row(self, name: str) -> Table3Row:
         for row in self.rows:
@@ -129,12 +172,26 @@ def map_benchmark(
     ``optimize_first=False`` is shorthand for the ``none`` flow and is
     rejected when combined with an explicitly selected flow.
     """
+    from repro.analysis.activity import compute_activities
+    from repro.analysis.power import analyze_power
+
     aig: Aig = run_flow(resolve_flow(flow, optimize_first), case.build()).aig
+    activities = compute_activities(aig)
     results: dict[LogicFamily, MappingStats] = {}
+    power: dict[LogicFamily, PowerStats] = {}
     for family in families:
         library = build_library(family)
-        mapped = technology_map(aig, library, matcher=matcher_for(library), objective=objective)
+        mapped = technology_map(
+            aig,
+            library,
+            matcher=matcher_for(library),
+            objective=objective,
+            activities=activities,
+        )
         results[family] = MappingStats.from_mapped(mapped)
+        power[family] = PowerStats.from_analysis(
+            analyze_power(mapped, aig, library, activities)
+        )
     return Table3Row(
         name=case.name,
         function=case.function,
@@ -142,6 +199,7 @@ def map_benchmark(
         aig_depth=aig.depth(),
         results=results,
         paper=_paper_row(case.name),
+        power=power,
     )
 
 

@@ -49,9 +49,11 @@ class InputMatch(NamedTuple):
     """Describes how a target function maps onto a base library function.
 
     ``permutation[j]`` is the base-function input that the target's input ``j``
-    drives; ``phase`` bit ``j`` is set when target input ``j`` must be
-    complemented before entering the base function; ``output_negated`` records
-    whether the base function's output must be complemented.
+    drives; ``phase`` is applied in the *base function's* input space (see
+    :func:`apply_match`: ``g(z) = (~)^out f(sigma(z) ^ phase)``), so target
+    input ``j`` is complemented before entering the base function exactly when
+    phase bit ``permutation[j]`` is set; ``output_negated`` records whether
+    the base function's output must be complemented.
     """
 
     permutation: tuple[int, ...]

@@ -25,6 +25,7 @@ per switching event) and normalized to the technology intrinsic delay
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
 
 from repro import profiling
 from repro.core.library import GateLibrary
@@ -32,6 +33,9 @@ from repro.synthesis.aig import Aig, lit_node
 from repro.synthesis.aig_array import aig_arrays
 from repro.synthesis.cuts import DEFAULT_CUT_LIMIT, DEFAULT_MAX_INPUTS, cut_set_for
 from repro.synthesis.matcher import CellMatch, _MatcherBase, matcher_for
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.activity import ActivityReport
 
 
 @dataclass(frozen=True)
@@ -42,6 +46,12 @@ class MappedGate:
     truth-table bits, leaf 0 being the least significant input), so the mapped
     netlist can be re-simulated and formally compared against the subject AIG
     without consulting the library again.
+
+    ``leaf_loads`` records, per leaf position, the normalized input
+    capacitance of the cell pin the leaf drives (resolved from the matcher's
+    pin assignment), and ``inverted`` whether the gate realizes the
+    complement of the cell's Table-1 function (output-inverter polarity) --
+    both are what the power analysis needs to charge nets correctly.
     """
 
     output: int
@@ -53,6 +63,8 @@ class MappedGate:
     intrinsic_delay: float
     parasitic_delay: float
     effort_delay: float
+    leaf_loads: tuple[float, ...] = ()
+    inverted: bool = False
 
 
 @dataclass
@@ -104,11 +116,34 @@ class _NodeChoice:
     leaves: tuple[int, ...]
     table: int
     arrival: float
-    area_flow: float
+    #: Objective cost flow: area flow for delay/area mapping, activity-
+    #: weighted switched-capacitance flow for power mapping.
+    flow: float
 
 
 class MappingError(RuntimeError):
     """Raised when a node cannot be matched by any library cell."""
+
+
+def _pin_bindings(match: CellMatch) -> tuple[tuple[str, bool], ...]:
+    """Cell pin (name, complemented) driven by each reduced leaf position.
+
+    Follows the :class:`~repro.logic.npn.InputMatch` convention
+    ``g(z) = (~)^out f(sigma(z) ^ phase)``: leaf position ``j`` drives
+    base-cell input ``permutation[j]``, and the phase is applied in the
+    *base function's* input space, so the leaf is complemented when phase
+    bit ``permutation[j]`` is set (pinned by the mapper pin-binding test
+    against the cell truth tables).
+    """
+    transform = match.match
+    names = match.cell.input_names
+    return tuple(
+        (
+            names[transform.permutation[j]],
+            bool((transform.phase >> transform.permutation[j]) & 1),
+        )
+        for j in range(len(transform.permutation))
+    )
 
 
 def technology_map(
@@ -118,34 +153,74 @@ def technology_map(
     objective: str = "delay",
     max_inputs: int = DEFAULT_MAX_INPUTS,
     cut_limit: int = DEFAULT_CUT_LIMIT,
+    activities: "ActivityReport | None" = None,
 ) -> MappedCircuit:
     """Map an AIG onto a gate library.
 
     ``objective`` selects the primary cost during the dynamic-programming
     pass: ``"delay"`` minimizes arrival time with area flow as tie-break,
-    ``"area"`` minimizes area flow with arrival time as tie-break.
+    ``"area"`` minimizes area flow with arrival time as tie-break, and
+    ``"power"`` minimizes the activity-weighted switched-capacitance flow
+    (dynamic switching of the cell's output/internal/pin capacitances at the
+    node and leaf activities, plus the expected pseudo-family static
+    current) with arrival time as tie-break.
+
+    ``activities`` supplies the per-node signal statistics for power mapping
+    (see :mod:`repro.analysis.activity`); when omitted they are computed
+    with the default exact/Monte-Carlo policy.  The argument is ignored for
+    the delay and area objectives.
     """
-    if objective not in ("delay", "area"):
-        raise ValueError("objective must be 'delay' or 'area'")
+    if objective not in ("delay", "area", "power"):
+        raise ValueError("objective must be 'delay', 'area' or 'power'")
     if matcher is None:
         matcher = matcher_for(library)
+    activity_list: list[float] | None = None
+    probability_list: list[float] | None = None
+    # Per-call memo of the resolved per-leaf pin capacitances of a match
+    # (keyed by identity: matches are memoized singletons inside the matcher
+    # for the duration of the call; the match is stored alongside to keep it
+    # alive).  Shared between the power DP and the covering phase.
+    pin_caps_memo: dict[int, tuple[CellMatch, tuple[float, ...]]] = {}
+
+    def pin_capacitances(match: CellMatch) -> tuple[float, ...]:
+        entry = pin_caps_memo.get(id(match))
+        if entry is None:
+            power_report = match.cell.power
+            caps = tuple(
+                power_report.pin_capacitance(pin, negated)
+                for pin, negated in _pin_bindings(match)
+            )
+            pin_caps_memo[id(match)] = entry = (match, caps)
+        return entry[1]
+
+    if objective == "power":
+        if activities is None:
+            # Local import: the analysis package layers above synthesis.
+            from repro.analysis.activity import compute_activities
+
+            activities = compute_activities(aig)
+        activity_list = activities.activity.tolist()
+        probability_list = activities.probability.tolist()
     with profiling.stage("cuts"):
         cut_set = cut_set_for(aig, max_inputs=max_inputs, cut_limit=cut_limit)
         arrays = aig_arrays(aig)
 
     # Forward DP over the array representation: per-node best arrival and
-    # area flow live in dense arrays indexed by node id (constant and primary
+    # cost flow live in dense arrays indexed by node id (constant and primary
     # inputs start at zero; every cut leaf precedes its node in topological
     # order, so reads always hit finalized entries), choices are resolved per
     # node from the node's cut slots.  Plain Python lists are used for the
     # dense stores because the loop reads and writes single scalars.
     num_nodes = arrays.num_nodes
     arrival_list = [0.0] * num_nodes
-    area_flow_list = [0.0] * num_nodes
+    flow_list = [0.0] * num_nodes
     choices: dict[int, _NodeChoice] = {}
     fanout = arrays.fanout.tolist()
     cut_count, cut_size, cut_leaves, cut_table, cut_support = cut_set.as_python()
 
+    # Cell selection within a canonical class: smallest area for the area
+    # *and* power objectives (switched capacitance is monotone in the device
+    # widths, i.e. in the area), fastest cell for delay.
     prefer = "delay" if objective == "delay" else "area"
 
     with profiling.stage("match"):
@@ -173,10 +248,27 @@ def technology_map(
                     + cell.delay.fo4_average
                 )
                 references = max(fanout[node], 1)
-                node_area_flow = (
-                    cell.area + sum(area_flow_list[leaf] for leaf in leaves)
-                ) / references
-                candidate = _NodeChoice(match, leaves, table, node_arrival, node_area_flow)
+                if objective == "power":
+                    power_report = cell.power
+                    gate_power = (
+                        activity_list[node] * power_report.switched_capacitance
+                    )
+                    for position, capacitance in enumerate(pin_capacitances(match)):
+                        gate_power += activity_list[leaves[position]] * capacitance
+                    probability_on = (
+                        1.0 - probability_list[node]
+                        if match.match.output_negated
+                        else probability_list[node]
+                    )
+                    gate_power += power_report.static_power(probability_on)
+                    node_flow = (
+                        gate_power + sum(flow_list[leaf] for leaf in leaves)
+                    ) / references
+                else:
+                    node_flow = (
+                        cell.area + sum(flow_list[leaf] for leaf in leaves)
+                    ) / references
+                candidate = _NodeChoice(match, leaves, table, node_arrival, node_flow)
                 if best is None:
                     best = candidate
                     continue
@@ -185,14 +277,14 @@ def technology_map(
                         candidate.arrival < best.arrival - 1e-9
                         or (
                             abs(candidate.arrival - best.arrival) <= 1e-9
-                            and candidate.area_flow < best.area_flow - 1e-9
+                            and candidate.flow < best.flow - 1e-9
                         )
                     )
                 else:
                     better = (
-                        candidate.area_flow < best.area_flow - 1e-9
+                        candidate.flow < best.flow - 1e-9
                         or (
-                            abs(candidate.area_flow - best.area_flow) <= 1e-9
+                            abs(candidate.flow - best.flow) <= 1e-9
                             and candidate.arrival < best.arrival - 1e-9
                         )
                     )
@@ -205,7 +297,7 @@ def technology_map(
                 )
             choices[node] = best
             arrival_list[node] = best.arrival
-            area_flow_list[node] = best.area_flow
+            flow_list[node] = best.flow
 
     with profiling.stage("cover"):
         # Covering: walk back from the primary outputs.
@@ -226,6 +318,7 @@ def technology_map(
             choice = choices[node]
             cell = choice.match.cell
             effort = max(cell.delay.fo4_average - cell.delay.parasitic_output, 0.0) / 4.0
+            leaf_loads = pin_capacitances(choice.match)
             gates.append(
                 MappedGate(
                     output=node,
@@ -237,6 +330,8 @@ def technology_map(
                     intrinsic_delay=cell.delay.fo4_average,
                     parasitic_delay=cell.delay.parasitic_output,
                     effort_delay=effort,
+                    leaf_loads=leaf_loads,
+                    inverted=choice.match.match.output_negated,
                 )
             )
 
@@ -249,8 +344,50 @@ def technology_map(
             primary_outputs=aig.po_names,
             po_nodes=tuple(lit_node(literal) for literal in aig.po_literals),
         )
-        _compute_timing(mapped, aig)
+        _compute_timing(mapped)
     return mapped
+
+
+def topological_gates(gates: Iterable[MappedGate]) -> list[MappedGate]:
+    """The gates in true dependency order (every gate after all its leaves).
+
+    Mapped netlists produced by :func:`technology_map` happen to carry
+    ascending, topologically ordered output ids, but nothing in the
+    :class:`MappedCircuit` contract guarantees that (ids could be shuffled by
+    a cleanup/rewrite of the subject graph), so every consumer that
+    propagates values or times through the netlist must walk this order
+    rather than ``sorted(..., key=lambda g: g.output)``.  Deterministic:
+    roots are visited in ascending output id and each gate's unfinished
+    leaves depth-first in reverse tuple order (LIFO stack).
+    """
+    by_output = {gate.output: gate for gate in gates}
+    order: list[MappedGate] = []
+    finished: set[int] = set()
+    in_progress: set[int] = set()
+    for root in sorted(by_output):
+        if root in finished:
+            continue
+        stack: list[tuple[int, bool]] = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node in finished:
+                continue
+            if expanded:
+                in_progress.discard(node)
+                finished.add(node)
+                order.append(by_output[node])
+                continue
+            if node in in_progress:
+                raise ValueError(
+                    f"mapped netlist contains a combinational cycle through "
+                    f"net {node}"
+                )
+            in_progress.add(node)
+            stack.append((node, True))
+            for leaf in by_output[node].leaves:
+                if leaf in by_output and leaf not in finished:
+                    stack.append((leaf, False))
+    return order
 
 
 def _eval_table_word(table: int, arity: int, leaf_bits: list[int], mask: int) -> int:
@@ -287,7 +424,7 @@ def _resimulate_words(
         node = aig.pi_literal(name) >> 1
         values[node] = [w & mask for w in patterns[name]]
 
-    for gate in sorted(mapped.gates, key=lambda g: g.output):
+    for gate in topological_gates(mapped.gates):
         leaf_words = [values[leaf] for leaf in gate.leaves]
         arity = len(leaf_words)
         values[gate.output] = [
@@ -349,7 +486,7 @@ def verify_mapping_reference(
         node = aig.pi_literal(name) >> 1
         values[node] = [w & mask for w in patterns[name]]
 
-    for gate in sorted(mapped.gates, key=lambda g: g.output):
+    for gate in topological_gates(mapped.gates):
         leaf_words = [values[leaf] for leaf in gate.leaves]
         output_words = []
         for word_index in range(num_words):
@@ -367,41 +504,16 @@ def verify_mapping_reference(
     return _outputs_match(values, aig, reference)
 
 
-def _compute_timing(mapped: MappedCircuit, aig: Aig) -> None:
+def _compute_timing(mapped: MappedCircuit) -> None:
     """Static timing and logic depth on the mapped netlist.
 
-    Gate delay is the characterized FO4 delay rescaled to the instance's
-    actual structural fanout: ``parasitic + effort_per_load * fanout`` where
-    one load is the standard input capacitance assumed by the paper's
-    worst-case delay accounting (Sec. 4.4); primary outputs count as one load.
+    Delegates to the full arrival/required/slack engine in
+    :mod:`repro.analysis.timing` (local import: the analysis package layers
+    above synthesis), which walks the gates in true topological order, and
+    records the two Table-3 figures on the circuit.
     """
-    gate_by_output = {gate.output: gate for gate in mapped.gates}
-    fanout_count: dict[int, int] = {gate.output: 0 for gate in mapped.gates}
-    for gate in mapped.gates:
-        for leaf in gate.leaves:
-            if leaf in fanout_count:
-                fanout_count[leaf] += 1
-    for node in mapped.po_nodes:
-        if node in fanout_count:
-            fanout_count[node] += 1
+    from repro.analysis.timing import compute_timing
 
-    arrival: dict[int, float] = {0: 0.0}
-    depth: dict[int, int] = {0: 0}
-    for pi in aig.pi_nodes():
-        arrival[pi] = 0.0
-        depth[pi] = 0
-
-    for gate in sorted(mapped.gates, key=lambda g: g.output):
-        loads = max(fanout_count.get(gate.output, 1), 1)
-        delay = gate.parasitic_delay + gate.effort_delay * loads
-        gate_arrival = (
-            max((arrival.get(leaf, 0.0) for leaf in gate.leaves), default=0.0) + delay
-        )
-        gate_depth = max((depth.get(leaf, 0) for leaf in gate.leaves), default=0) + 1
-        arrival[gate.output] = gate_arrival
-        depth[gate.output] = gate_depth
-
-    po_arrivals = [arrival.get(node, 0.0) for node in mapped.po_nodes]
-    po_depths = [depth.get(node, 0) for node in mapped.po_nodes]
-    mapped.normalized_delay = max(po_arrivals, default=0.0)
-    mapped.levels = max(po_depths, default=0)
+    report = compute_timing(mapped)
+    mapped.normalized_delay = report.normalized_delay
+    mapped.levels = report.levels

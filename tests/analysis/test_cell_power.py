@@ -1,0 +1,81 @@
+"""Cell power characterization: switched capacitances and static currents."""
+
+import pytest
+
+from repro.core.families import LogicFamily
+from repro.core.library import build_library
+from repro.circuits.sizing import PSEUDO_LOAD_WIDTH, PSEUDO_PULL_DOWN_TARGET
+
+SAMPLE_FUNCTIONS = ("F00", "F12", "F20")
+PSEUDO_FAMILIES = (LogicFamily.TG_PSEUDO, LogicFamily.PASS_PSEUDO)
+STATIC_FAMILIES = (LogicFamily.TG_STATIC, LogicFamily.PASS_STATIC, LogicFamily.CMOS)
+
+
+def _sample_cells(family):
+    wanted = SAMPLE_FUNCTIONS
+    if family is LogicFamily.CMOS:
+        wanted = ("F00", "F12")  # F20 needs ambipolar XOR switches
+    return build_library(family, function_ids=wanted).cells
+
+
+@pytest.mark.parametrize("family", list(LogicFamily), ids=lambda f: f.value)
+def test_capacitances_are_positive_and_consistent_with_delay(family):
+    for cell in _sample_cells(family):
+        report = cell.power
+        assert report.output_capacitance > 0
+        assert report.switched_capacitance >= report.output_capacitance
+        # Same normalization as the delay model: the output node parasitics
+        # are exactly the characterized parasitic delay contribution.
+        assert report.output_capacitance == pytest.approx(
+            cell.delay.parasitic_output
+        )
+        assert set(report.signal_capacitance) == set(cell.input_names)
+        for name in cell.input_names:
+            assert report.pin_capacitance(name) > 0
+            assert report.pin_capacitance(name, negated=True) > 0
+        # Per-literal capacitances agree with the delay model's logical
+        # efforts (both are netlist.signal_capacitance / c_unit).
+        for literal, effort in cell.delay.logical_effort.items():
+            assert report.literal_capacitance[literal] == pytest.approx(effort)
+
+
+@pytest.mark.parametrize("family", PSEUDO_FAMILIES, ids=lambda f: f.value)
+def test_pseudo_cells_draw_static_current(family):
+    load_resistance = 1.0 / PSEUDO_LOAD_WIDTH
+    for cell in _sample_cells(family):
+        report = cell.power
+        assert report.is_pseudo
+        assert report.static_current_low > 0
+        assert 0 < report.low_state_fraction < 1
+        assert report.static_current_average == pytest.approx(
+            report.static_current_low * report.low_state_fraction
+        )
+        # The load resistance alone bounds the standing current from above.
+        assert report.static_current_low < 1.0 / load_resistance
+
+
+def test_pseudo_inverter_static_current_is_exact():
+    # F00 pseudo: a single 4/3-wide pull-down (target resistance 3/4) in
+    # series with the 1/3-wide load (resistance 3) whenever the input is
+    # high, so I = 1 / (3 + 3/4) on exactly half of the states.
+    cell = build_library(LogicFamily.TG_PSEUDO, function_ids=("F00",)).cells[0]
+    report = cell.power
+    expected = 1.0 / (1.0 / PSEUDO_LOAD_WIDTH + PSEUDO_PULL_DOWN_TARGET)
+    assert report.static_current_low == pytest.approx(expected)
+    assert report.low_state_fraction == pytest.approx(0.5)
+    assert report.static_power(0.5) == pytest.approx(expected / 2)
+
+
+@pytest.mark.parametrize("family", STATIC_FAMILIES, ids=lambda f: f.value)
+def test_static_families_draw_no_static_current(family):
+    for cell in _sample_cells(family):
+        report = cell.power
+        assert not report.is_pseudo
+        assert report.static_current_low == 0.0
+        assert report.static_current_average == 0.0
+        assert report.static_power(1.0) == 0.0
+
+
+def test_power_report_is_cached_on_the_cell():
+    cell = build_library(LogicFamily.TG_STATIC, function_ids=("F00",)).cells[0]
+    assert cell.power is cell.power

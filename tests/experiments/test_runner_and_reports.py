@@ -78,7 +78,7 @@ class TestRunnerCli:
         )
         captured = capsys.readouterr().out
         assert exit_code == 0
-        assert "[flow: quick]" in captured
+        assert "[flow: quick; objective: delay]" in captured
         assert "add-16" in captured
         # The artifact records which flow produced it.
         assert json.loads((artifacts / "table3.json").read_text())["flow"] == "quick"

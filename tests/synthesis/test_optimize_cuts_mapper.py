@@ -217,7 +217,7 @@ class TestMapper:
     def test_objective_validation(self, tg_static_library):
         aig = _small_adder(width=2, name="add2")
         with pytest.raises(ValueError):
-            technology_map(aig, tg_static_library, objective="power")
+            technology_map(aig, tg_static_library, objective="energy")
 
     def test_statistics_dictionary(self, tg_static_library):
         aig = _small_adder(width=2, name="add2s")
@@ -246,3 +246,53 @@ class TestMapper:
         mapped = technology_map(aig, cmos_library)
         patterns = random_pattern_words(aig.pi_names, num_words=4, seed=11)
         assert verify_mapping(mapped, aig, patterns)
+
+
+class TestPinBindings:
+    """The matcher's pin assignment, as resolved for the power analysis.
+
+    Regression for the phase convention: ``g(z) = (~)^out f(sigma(z) ^
+    phase)`` applies the phase in the *base function's* input space, so the
+    complement flag of leaf ``j`` is phase bit ``permutation[j]`` (reading
+    bit ``j`` instead silently mis-assigns pin polarities -- and therefore
+    pin capacitances -- whenever a match permutes inputs).
+    """
+
+    @pytest.mark.parametrize(
+        "family", (LogicFamily.TG_STATIC, LogicFamily.PASS_STATIC),
+        ids=lambda f: f.value,
+    )
+    def test_bindings_reproduce_the_cut_function(self, family):
+        import random
+
+        from repro.synthesis.mapper import _pin_bindings
+        from repro.synthesis.matcher import matcher_for
+
+        library = build_library(family)
+        matcher = matcher_for(library)
+        rng = random.Random(42)
+        probes = [(2, bits) for bits in range(16)]
+        probes += [(3, rng.getrandbits(8)) for _ in range(60)]
+        probes += [(4, rng.getrandbits(16)) for _ in range(60)]
+        checked = 0
+        for num_leaves, bits in probes:
+            found = matcher.match(num_leaves, bits)
+            if found is None:
+                continue
+            cell, transform = found.cell, found.match
+            bindings = _pin_bindings(found)
+            pin_index = {name: i for i, name in enumerate(cell.input_names)}
+            for assignment in range(1 << num_leaves):
+                minterm = 0
+                for j, (pin, negated) in enumerate(bindings):
+                    value = ((assignment >> j) & 1) ^ negated
+                    minterm |= value << pin_index[pin]
+                value = (cell.function.bits >> minterm) & 1
+                if transform.output_negated:
+                    value ^= 1
+                assert value == (bits >> assignment) & 1, (
+                    f"{cell.name}: binding {bindings} does not reproduce "
+                    f"table {bits:#x} at assignment {assignment}"
+                )
+            checked += 1
+        assert checked > 20
