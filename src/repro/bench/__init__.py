@@ -14,8 +14,21 @@ substitution rationale.
 from repro.bench.registry import (
     BenchmarkCase,
     BENCHMARKS,
+    all_benchmarks,
     benchmark_by_name,
     build_benchmark,
+    register_benchmark,
+    register_blif_benchmark,
+    unregister_benchmark,
 )
 
-__all__ = ["BenchmarkCase", "BENCHMARKS", "benchmark_by_name", "build_benchmark"]
+__all__ = [
+    "BenchmarkCase",
+    "BENCHMARKS",
+    "all_benchmarks",
+    "benchmark_by_name",
+    "build_benchmark",
+    "register_benchmark",
+    "register_blif_benchmark",
+    "unregister_benchmark",
+]

@@ -128,9 +128,75 @@ BENCHMARKS: tuple[BenchmarkCase, ...] = (
 )
 
 
+#: Benchmarks registered at run time on top of the built-in Table-3 set
+#: (external BLIF circuits, generator sweeps).  Kept separate so the
+#: built-in tuple -- and therefore the default artifact set -- never
+#: changes under registration.
+_EXTRA_BENCHMARKS: dict[str, BenchmarkCase] = {}
+
+
+def register_benchmark(case: BenchmarkCase, replace: bool = False) -> BenchmarkCase:
+    """Register an additional benchmark case.
+
+    The name must not collide with a built-in Table-3 benchmark; an already
+    registered extra of the same name is rejected unless ``replace`` is
+    set.  Worker processes of the experiment engine inherit registrations
+    through ``fork``; on spawn-based platforms register from an imported
+    module (the same rule as custom flows) or run with ``jobs=1``.
+    """
+    if any(case.name == builtin.name for builtin in BENCHMARKS):
+        raise ValueError(
+            f"benchmark {case.name!r} collides with a built-in Table-3 entry"
+        )
+    if not replace and case.name in _EXTRA_BENCHMARKS:
+        raise ValueError(f"benchmark {case.name!r} is already registered")
+    _EXTRA_BENCHMARKS[case.name] = case
+    return case
+
+
+def register_blif_benchmark(
+    path, name: str | None = None, function: str = "External BLIF",
+    replace: bool = False,
+) -> BenchmarkCase:
+    """Register an external BLIF file as a benchmark (runner ``--extra-benchmark``).
+
+    The file is parsed eagerly so malformed input fails at registration
+    rather than mid-experiment, and the recorded I/O counts describe the
+    actual circuit.  The registered generator re-reads the file on every
+    build, matching the pure-function contract the engine's caching
+    assumes (the cache key hashes the AIG structure, not the path).
+    """
+    from pathlib import Path
+
+    from repro.synthesis.blif import read_blif_file
+
+    path = Path(path)
+    aig = read_blif_file(path)  # validate + measure
+    case = BenchmarkCase(
+        name=name or path.stem,
+        function=function,
+        paper_inputs=aig.num_pis,
+        paper_outputs=aig.num_pos,
+        exact=True,
+        generator=lambda: read_blif_file(path),
+        xor_rich=False,
+    )
+    return register_benchmark(case, replace=replace)
+
+
+def unregister_benchmark(name: str) -> None:
+    """Remove a previously registered extra benchmark (no-op if absent)."""
+    _EXTRA_BENCHMARKS.pop(name, None)
+
+
+def all_benchmarks() -> tuple[BenchmarkCase, ...]:
+    """The built-in Table-3 set followed by the registered extras."""
+    return BENCHMARKS + tuple(_EXTRA_BENCHMARKS.values())
+
+
 def benchmark_by_name(name: str) -> BenchmarkCase:
-    """Look up a benchmark case by its Table-3 name."""
-    for case in BENCHMARKS:
+    """Look up a benchmark case by name (built-in or registered)."""
+    for case in all_benchmarks():
         if case.name == name:
             return case
     raise KeyError(f"unknown benchmark {name!r}")

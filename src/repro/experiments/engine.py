@@ -70,8 +70,11 @@ from repro.synthesis.matcher import matcher_for
 #: Schema 3: mapping payloads grow the power axis (dynamic + static power of
 #: the mapped netlist), keyed additionally by the Monte-Carlo activity
 #: parameters (``power_vectors``/``power_seed``) and by the cells' power
-#: characterization via the extended library fingerprint.
-CACHE_SCHEMA = 3
+#: characterization via the extended library fingerprint.  Schema 4:
+#: mapping jobs carry the multi-round recovery knobs (``rounds`` /
+#: ``recovery``), both folded into the key so recovered results never
+#: satisfy round-0 requests (or vice versa).
+CACHE_SCHEMA = 4
 
 
 def default_cache_dir() -> Path:
@@ -145,8 +148,10 @@ class MapJob:
 
     ``power_vectors``/``power_seed`` parameterize the Monte-Carlo activity
     estimation behind the power axis (and the ``power`` mapping objective);
-    both are folded into the content-addressed cache key so results computed
-    under one signal-statistics configuration never satisfy another.
+    ``rounds``/``recovery`` select the mapper's required-time recovery
+    rounds and their cost axis (see :func:`repro.synthesis.mapper.map_rounds`).
+    All four are folded into the content-addressed cache key so results
+    computed under one configuration never satisfy another.
     """
 
     benchmark: str
@@ -157,6 +162,8 @@ class MapJob:
     cut_limit: int = DEFAULT_CUT_LIMIT
     power_vectors: int = DEFAULT_VECTORS
     power_seed: int = DEFAULT_SEED
+    rounds: int = 0
+    recovery: str = "auto"
 
     def spec(self) -> tuple:
         """Picklable description handed to worker processes."""
@@ -169,6 +176,8 @@ class MapJob:
             self.cut_limit,
             self.power_vectors,
             self.power_seed,
+            self.rounds,
+            self.recovery,
         )
 
 
@@ -233,13 +242,20 @@ class ResultCache:
 
 
 def _resolve_cases(benchmark_names: tuple[str, ...] | None):
-    """The Table-3 benchmark cases, optionally restricted to a subset."""
-    from repro.bench.registry import BENCHMARKS
+    """The benchmark cases, optionally restricted to a subset.
 
+    Covers the built-in Table-3 set plus any benchmarks registered at run
+    time (``repro.bench.registry.register_benchmark`` /
+    ``register_blif_benchmark``, the runner's ``--extra-benchmark`` lane);
+    without registrations this is exactly the built-in set.
+    """
+    from repro.bench.registry import all_benchmarks
+
+    cases = all_benchmarks()
     if benchmark_names is None:
-        return BENCHMARKS
+        return cases
     wanted = set(benchmark_names)
-    cases = tuple(case for case in BENCHMARKS if case.name in wanted)
+    cases = tuple(case for case in cases if case.name in wanted)
     missing = wanted - {case.name for case in cases}
     if missing:
         raise KeyError(f"unknown benchmarks requested: {sorted(missing)}")
@@ -261,12 +277,22 @@ def _subject_aig(benchmark: str, flow: str) -> Aig:
     cached = _OPTIMIZED_AIGS.get(key)
     if cached is None:
         try:
-            with profiling.stage("optimize"):
-                result = run_flow(flow, benchmark_by_name(benchmark).build())
+            case = benchmark_by_name(benchmark)
         except KeyError as error:
             # Worker processes started via spawn/forkserver re-import modules
-            # and only see flows registered at import time; surface that
+            # and only see benchmarks registered at import time; surface that
             # instead of a bare KeyError from the registry.
+            raise RuntimeError(
+                f"benchmark {benchmark!r} is not registered in this worker "
+                "process; run-time registrations (--extra-benchmark / "
+                "register_benchmark) must come from an imported module (or "
+                "use jobs=1) for parallel runs on spawn-based platforms"
+            ) from error
+        try:
+            with profiling.stage("optimize"):
+                result = run_flow(flow, case.build())
+        except KeyError as error:
+            # Same re-import caveat for flows registered at run time.
             raise RuntimeError(
                 f"flow {flow!r} is not registered in this worker process; "
                 "custom flows must be registered from an imported module (or "
@@ -288,6 +314,8 @@ def _run_map_job(spec: tuple) -> dict:
         cut_limit,
         power_vectors,
         power_seed,
+        rounds,
+        recovery,
     ) = spec
     family = LogicFamily(family_value)
     aig = _subject_aig(benchmark, flow)
@@ -308,6 +336,8 @@ def _run_map_job(spec: tuple) -> dict:
         max_inputs=max_inputs,
         cut_limit=cut_limit,
         activities=activities,
+        rounds=rounds,
+        recovery=recovery,
     )
     with profiling.stage("power"):
         power = analyze_power(mapped, aig, library, activities)
@@ -435,6 +465,8 @@ class ExperimentEngine:
                 "cut_limit": job.cut_limit,
                 "power_vectors": job.power_vectors,
                 "power_seed": job.power_seed,
+                "rounds": job.rounds,
+                "recovery": job.recovery,
             },
             sort_keys=True,
         )
@@ -500,47 +532,45 @@ class ExperimentEngine:
         optimize_first: bool = True,
         power_vectors: int = DEFAULT_VECTORS,
         power_seed: int = DEFAULT_SEED,
+        rounds: int = 0,
+        recovery: str = "auto",
     ) -> Table3Result:
         """Regenerate Table 3 through the job engine.
 
         ``flow`` names the registered technology-independent flow run before
         mapping; ``optimize_first=False`` is shorthand for the ``none`` flow
         (kept for backward compatibility) and is rejected when combined with
-        an explicitly selected flow.
+        an explicitly selected flow.  ``rounds``/``recovery`` select the
+        mapper's required-time recovery configuration (``--map-rounds`` /
+        ``--map-recovery`` on the runner).
         """
         flow_name = resolve_flow(flow, optimize_first)
         cases = _resolve_cases(benchmark_names)
 
-        jobs = [
-            MapJob(
-                case.name,
+        def job_for(case_name: str, family: LogicFamily) -> MapJob:
+            return MapJob(
+                case_name,
                 family,
                 objective=objective,
                 flow=flow_name,
                 power_vectors=power_vectors,
                 power_seed=power_seed,
+                rounds=rounds,
+                recovery=recovery,
             )
-            for case in cases
-            for family in families
-        ]
+
+        jobs = [job_for(case.name, family) for case in cases for family in families]
         by_job = self.run_map_jobs(jobs)
 
-        result = Table3Result(flow=flow_name, objective=objective)
+        result = Table3Result(
+            flow=flow_name, objective=objective, rounds=rounds, recovery=recovery
+        )
         for case in cases:
             stats: dict[LogicFamily, MappingStats] = {}
             power: dict[LogicFamily, PowerStats] = {}
             aig_nodes = aig_depth = 0
             for family in families:
-                job_result = by_job[
-                    MapJob(
-                        case.name,
-                        family,
-                        objective=objective,
-                        flow=flow_name,
-                        power_vectors=power_vectors,
-                        power_seed=power_seed,
-                    )
-                ]
+                job_result = by_job[job_for(case.name, family)]
                 stats[family] = job_result.stats
                 power[family] = job_result.power
                 aig_nodes = job_result.aig_nodes
@@ -669,8 +699,13 @@ def table2_payload(result: Table2Result) -> dict:
 
 
 def table3_payload(result: Table3Result) -> dict:
-    """JSON-ready view of a Table-3 result."""
-    return {
+    """JSON-ready view of a Table-3 result.
+
+    The recovery metadata is only emitted for recovered runs: round-0
+    payloads stay byte-identical to the pre-recovery format so archived
+    artifacts remain directly comparable.
+    """
+    payload = {
         "flow": result.flow,
         "objective": result.objective,
         "rows": [
@@ -704,6 +739,10 @@ def table3_payload(result: Table3Result) -> dict:
             if result.rows and family in result.rows[0].results
         },
     }
+    if result.rounds:
+        payload["map_rounds"] = result.rounds
+        payload["map_recovery"] = result.recovery
+    return payload
 
 
 def figure6_payload(result: Figure6Result) -> dict:

@@ -18,6 +18,11 @@ from repro.core.paper_data import PAPER_TAU_PS, paper_benchmark
 from repro.experiments.table3 import Table3Result, run_table3
 
 
+def _mean(values: tuple[float, ...]) -> float:
+    """Average of a series (0.0 when only external benchmarks were run)."""
+    return sum(values) / len(values) if values else 0.0
+
+
 @dataclass(frozen=True)
 class Figure6Result:
     """Per-benchmark speed-up series for the static and pseudo families."""
@@ -30,19 +35,19 @@ class Figure6Result:
 
     @property
     def average_static_speedup(self) -> float:
-        return sum(self.static_speedups) / len(self.static_speedups)
+        return _mean(self.static_speedups)
 
     @property
     def average_pseudo_speedup(self) -> float:
-        return sum(self.pseudo_speedups) / len(self.pseudo_speedups)
+        return _mean(self.pseudo_speedups)
 
     @property
     def paper_average_static_speedup(self) -> float:
-        return sum(self.paper_static_speedups) / len(self.paper_static_speedups)
+        return _mean(self.paper_static_speedups)
 
     @property
     def paper_average_pseudo_speedup(self) -> float:
-        return sum(self.paper_pseudo_speedups) / len(self.paper_pseudo_speedups)
+        return _mean(self.paper_pseudo_speedups)
 
     def series(self) -> dict[str, dict[str, float]]:
         """Figure data keyed by benchmark name (ready for plotting or tabulation)."""
@@ -58,13 +63,19 @@ class Figure6Result:
 
 
 def figure6_from_table3(table3: Table3Result) -> Figure6Result:
-    """Derive the Figure-6 series from already-computed Table-3 results."""
+    """Derive the Figure-6 series from already-computed Table-3 results.
+
+    Rows without a published counterpart (externally registered benchmarks)
+    are skipped: Figure 6 is a comparison against the paper's numbers.
+    """
     names: list[str] = []
     static: list[float] = []
     pseudo: list[float] = []
     paper_static: list[float] = []
     paper_pseudo: list[float] = []
     for row in table3.rows:
+        if row.paper is None:
+            continue
         names.append(row.name)
         static.append(row.speedup_vs_cmos(LogicFamily.TG_STATIC))
         pseudo.append(row.speedup_vs_cmos(LogicFamily.TG_PSEUDO))

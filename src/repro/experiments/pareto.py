@@ -35,7 +35,8 @@ PARETO_OBJECTIVES: tuple[str, ...] = ("delay", "area", "power")
 
 @dataclass(frozen=True)
 class ParetoPoint:
-    """One (family, objective) mapping in the area/delay/power space."""
+    """One (family, objective[, recovery rounds]) mapping in the
+    area/delay/power space."""
 
     family: LogicFamily
     objective: str
@@ -47,6 +48,9 @@ class ParetoPoint:
     dynamic_power: float
     static_power: float
     total_power: float
+    #: Required-time recovery rounds the point was mapped with (0 = the
+    #: classical single-pass mapping).
+    rounds: int = 0
 
     def metrics(self) -> tuple[float, float, float]:
         """The minimized coordinates: (area, absolute delay, total power)."""
@@ -85,6 +89,10 @@ class ParetoResult:
     flow: str = DEFAULT_FLOW
     power_vectors: int = DEFAULT_VECTORS
     power_seed: int = DEFAULT_SEED
+    #: Recovery rounds of the additional recovered sweep (0 = round-0-only
+    #: sweep, the historical point set).
+    rounds: int = 0
+    recovery: str = "auto"
 
     def row(self, name: str) -> ParetoRow:
         for row in self.rows:
@@ -110,12 +118,18 @@ def run_pareto(
     engine=None,
     power_vectors: int = DEFAULT_VECTORS,
     power_seed: int = DEFAULT_SEED,
+    rounds: int = 0,
+    recovery: str = "auto",
 ) -> ParetoResult:
     """Compute area/delay/power Pareto fronts for the requested benchmarks.
 
     One :class:`~repro.experiments.engine.MapJob` per (benchmark, family,
     objective) triple is scheduled through ``engine`` (sequential and
     cache-less by default, like :func:`repro.experiments.table3.run_table3`).
+    With ``rounds > 0`` every (family, objective) pair contributes a second
+    point mapped with that many required-time recovery rounds -- the
+    recovered variants enter the dominance comparison alongside the round-0
+    sweep, usually pushing the front toward lower area/power at equal delay.
     """
     from repro.experiments.engine import ExperimentEngine, MapJob, _resolve_cases
 
@@ -123,8 +137,11 @@ def run_pareto(
         engine = ExperimentEngine(jobs=1, use_cache=False)
 
     cases = _resolve_cases(benchmark_names)
+    round_variants = (0,) if rounds == 0 else (0, rounds)
 
-    def job_for(case_name: str, family: LogicFamily, objective: str) -> MapJob:
+    def job_for(
+        case_name: str, family: LogicFamily, objective: str, job_rounds: int
+    ) -> MapJob:
         return MapJob(
             case_name,
             family,
@@ -132,13 +149,16 @@ def run_pareto(
             flow=flow,
             power_vectors=power_vectors,
             power_seed=power_seed,
+            rounds=job_rounds,
+            recovery=recovery,
         )
 
     jobs = [
-        job_for(case.name, family, objective)
+        job_for(case.name, family, objective, job_rounds)
         for case in cases
         for family in families
         for objective in objectives
+        for job_rounds in round_variants
     ]
     by_job = engine.run_map_jobs(jobs)
 
@@ -148,30 +168,36 @@ def run_pareto(
         flow=flow,
         power_vectors=power_vectors,
         power_seed=power_seed,
+        rounds=rounds,
+        recovery=recovery,
     )
     for case in cases:
         points: list[ParetoPoint] = []
         aig_nodes = aig_depth = 0
         for family in families:
             for objective in objectives:
-                job_result = by_job[job_for(case.name, family, objective)]
-                stats, power = job_result.stats, job_result.power
-                aig_nodes = job_result.aig_nodes
-                aig_depth = job_result.aig_depth
-                points.append(
-                    ParetoPoint(
-                        family=family,
-                        objective=objective,
-                        gates=stats.gates,
-                        area=stats.area,
-                        levels=stats.levels,
-                        normalized_delay=stats.normalized_delay,
-                        absolute_delay_ps=stats.absolute_delay_ps,
-                        dynamic_power=power.dynamic + power.input_dynamic,
-                        static_power=power.static,
-                        total_power=power.total,
+                for job_rounds in round_variants:
+                    job_result = by_job[
+                        job_for(case.name, family, objective, job_rounds)
+                    ]
+                    stats, power = job_result.stats, job_result.power
+                    aig_nodes = job_result.aig_nodes
+                    aig_depth = job_result.aig_depth
+                    points.append(
+                        ParetoPoint(
+                            family=family,
+                            objective=objective,
+                            gates=stats.gates,
+                            area=stats.area,
+                            levels=stats.levels,
+                            normalized_delay=stats.normalized_delay,
+                            absolute_delay_ps=stats.absolute_delay_ps,
+                            dynamic_power=power.dynamic + power.input_dynamic,
+                            static_power=power.static,
+                            total_power=power.total,
+                            rounds=job_rounds,
+                        )
                     )
-                )
         all_points = tuple(points)
         result.rows.append(
             ParetoRow(
@@ -187,7 +213,7 @@ def run_pareto(
 
 
 def _point_payload(point: ParetoPoint) -> dict:
-    return {
+    payload = {
         "family": point.family.value,
         "objective": point.objective,
         "gates": point.gates,
@@ -199,11 +225,19 @@ def _point_payload(point: ParetoPoint) -> dict:
         "static_power": point.static_power,
         "total_power": point.total_power,
     }
+    if point.rounds:
+        payload["rounds"] = point.rounds
+    return payload
 
 
 def pareto_payload(result: ParetoResult) -> dict:
-    """JSON-ready view of a Pareto result (the ``pareto.json`` artifact)."""
-    return {
+    """JSON-ready view of a Pareto result (the ``pareto.json`` artifact).
+
+    Recovery metadata (the per-point ``rounds`` tag and the sweep-level
+    knobs) is only emitted for recovered sweeps so round-0 artifacts stay
+    byte-identical to the pre-recovery format.
+    """
+    payload = {
         "families": [family.value for family in result.families],
         "objectives": list(result.objectives),
         "flow": result.flow,
@@ -221,13 +255,19 @@ def pareto_payload(result: ParetoResult) -> dict:
             for row in result.rows
         ],
     }
+    if result.rounds:
+        payload["map_rounds"] = result.rounds
+        payload["map_recovery"] = result.recovery
+    return payload
 
 
 def render_pareto(result: ParetoResult) -> str:
     """Text rendering: every benchmark's front, one point per line."""
+    sweep = f"flow: {result.flow}"
+    if result.rounds:
+        sweep += f"; recovery: {result.rounds} round(s) of {result.recovery}"
     lines = [
-        "Pareto fronts (area / absolute delay / total power; "
-        f"flow: {result.flow})",
+        f"Pareto fronts (area / absolute delay / total power; {sweep})",
     ]
     for row in result.rows:
         lines.append(
@@ -235,8 +275,9 @@ def render_pareto(result: ParetoResult) -> str:
             f"{len(row.points)} points on the front"
         )
         for point in row.front:
+            tag = f" +r{point.rounds}" if point.rounds else ""
             lines.append(
-                f"  {point.family.value:<22} {point.objective:<6} "
+                f"  {point.family.value:<22} {point.objective:<6}{tag} "
                 f"area {point.area:9.1f}  delay {point.absolute_delay_ps:8.1f} ps  "
                 f"power {point.total_power:9.2f} "
                 f"(dyn {point.dynamic_power:8.2f} + stat {point.static_power:7.2f})"

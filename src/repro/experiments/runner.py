@@ -40,6 +40,24 @@ Scheduling goes through the parallel experiment engine
     key.  ``power`` minimizes the activity-weighted switched-capacitance
     flow (see :mod:`repro.analysis`).
 
+``--map-rounds N`` / ``--map-recovery {auto,area,power}``
+    Required-time recovery rounds of the mapper (default: 0, the classical
+    single-pass mapping).  With ``N > 0`` every mapping job re-chooses
+    matches on slack under the recovery cost model without ever worsening
+    the round-0 worst delay or the recovered axis
+    (:func:`repro.synthesis.mapper.map_rounds`); ``--map-recovery`` picks
+    the axis (``auto``: area for the delay/area objectives, power for the
+    power objective).  Both knobs are folded into the cache key and, when
+    non-zero, recorded in the ``table3.json``/``pareto.json`` metadata;
+    with ``--pareto`` the recovered variants join the sweep as extra
+    points.
+
+``--extra-benchmark PATH``
+    Register an external BLIF circuit as an additional benchmark (repeat
+    the flag for several).  The circuit flows through the same engine jobs,
+    caching and artifacts as the built-in Table-3 set; it is keyed by its
+    structural content hash, so renaming the file never stales the cache.
+
 ``--power-vectors N`` / ``--power-seed N``
     Monte-Carlo signal-statistics parameters behind the power axis:
     ``N * 64`` random patterns per benchmark with more primary inputs than
@@ -53,7 +71,8 @@ Scheduling goes through the parallel experiment engine
 
 ``--profile`` / ``--profile-out PATH``
     Emit per-stage wall-clock timing (``optimize`` / ``activity`` /
-    ``cuts`` / ``match`` / ``cover`` / ``power`` / ``verify``) as JSON -- to
+    ``cuts`` / ``match`` / ``cover`` / ``recover`` / ``power`` /
+    ``verify``) as JSON -- to
     stdout with ``--profile``, to PATH with ``--profile-out`` (which implies
     ``--profile``) -- so performance work can attribute wins per pipeline
     stage.  Profiling forces ``--jobs 1`` and disables the result cache:
@@ -71,6 +90,7 @@ import time
 
 from repro import profiling
 from repro.analysis.activity import DEFAULT_SEED, DEFAULT_VECTORS
+from repro.bench.registry import register_blif_benchmark
 from repro.experiments.engine import ExperimentEngine
 from repro.flow import DEFAULT_FLOW, available_flows, get_flow
 from repro.experiments.figure6 import figure6_from_table3
@@ -158,6 +178,29 @@ def main(argv: list[str] | None = None) -> int:
         help=f"Monte-Carlo signal-statistics seed (default: {DEFAULT_SEED})",
     )
     parser.add_argument(
+        "--map-rounds",
+        type=int,
+        default=0,
+        metavar="N",
+        help="required-time recovery rounds of the mapper (default: 0 = "
+        "single-pass mapping)",
+    )
+    parser.add_argument(
+        "--map-recovery",
+        choices=("auto", "area", "power"),
+        default="auto",
+        help="cost axis of the recovery rounds (default: auto -- area for "
+        "the delay/area objectives, power for the power objective)",
+    )
+    parser.add_argument(
+        "--extra-benchmark",
+        metavar="PATH",
+        action="append",
+        default=[],
+        help="register an external BLIF circuit as an additional benchmark "
+        "(may be repeated)",
+    )
+    parser.add_argument(
         "--pareto",
         action="store_true",
         help="additionally sweep every family under every objective and "
@@ -188,6 +231,20 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     get_flow(args.flow)  # reject unknown flows before doing any work
+    if args.map_rounds < 0:
+        parser.error("--map-rounds must be non-negative")
+
+    extra_names = []
+    for path in args.extra_benchmark:
+        try:
+            # No replace: two files sharing a stem must error, not silently
+            # shadow each other in the reported artifacts.
+            case = register_blif_benchmark(path)
+        except (OSError, ValueError) as error:
+            parser.error(f"--extra-benchmark {path}: {error}")
+        extra_names.append(case.name)
+    if extra_names:
+        print(f"[extra benchmarks: {', '.join(extra_names)}]")
 
     if args.profile:
         if args.jobs != 1:
@@ -214,9 +271,16 @@ def main(argv: list[str] | None = None) -> int:
             objective=args.objective,
             power_vectors=args.power_vectors,
             power_seed=args.power_seed,
+            rounds=args.map_rounds,
+            recovery=args.map_recovery,
         )
         figure6 = figure6_from_table3(table3)
-        print(f"[flow: {args.flow}; objective: {args.objective}]")
+        header = f"[flow: {args.flow}; objective: {args.objective}"
+        if args.map_rounds:
+            header += (
+                f"; recovery: {args.map_rounds} round(s) of {args.map_recovery}"
+            )
+        print(header + "]")
         print(render_table3(table3))
         print()
         print(render_figure6(figure6))
@@ -232,6 +296,8 @@ def main(argv: list[str] | None = None) -> int:
             flow=args.flow,
             power_vectors=args.power_vectors,
             power_seed=args.power_seed,
+            rounds=args.map_rounds,
+            recovery=args.map_recovery,
         )
         print()
         print(render_pareto(pareto))

@@ -119,6 +119,12 @@ class Table3Result:
     flow: str = "resyn2rs"
     #: Mapping objective the rows were produced under (recorded likewise).
     objective: str = "delay"
+    #: Required-time recovery rounds of the mapper (0 = single-pass mapping;
+    #: recorded in the JSON artifacts only when non-zero so round-0 archives
+    #: stay byte-comparable across versions).
+    rounds: int = 0
+    #: Cost axis of the recovery rounds (``"auto"``/``"area"``/``"power"``).
+    recovery: str = "auto"
 
     def average_power(self, family: LogicFamily, component: str = "total") -> float:
         values = [

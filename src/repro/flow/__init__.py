@@ -17,6 +17,12 @@ registered *passes* sequenced by named *flows*:
 The experiment engine schedules mapping jobs by flow name and folds
 :meth:`FlowSpec.fingerprint` into its content-addressed cache keys;
 ``repro.synthesis.optimize.optimize`` is the ``resyn2rs`` flow.
+
+Technology mapping participates as a pass too (:mod:`repro.flow.mapping`):
+the registered ``map`` pass -- and configured variants created with
+:func:`mapping_pass` -- maps the network onto a library mid-flow and
+records the result as ``FlowResult.mapped``, so FlowSpecs can interleave
+resynthesis and mapping.
 """
 
 from repro.flow.passes import (
@@ -38,12 +44,14 @@ from repro.flow.pipeline import (
     resolve_flow,
     run_flow,
 )
+from repro.flow.mapping import MappingPass, mapping_pass
 
 __all__ = [
     "DEFAULT_FLOW",
     "FlowResult",
     "FlowSpec",
     "FunctionPass",
+    "MappingPass",
     "Pass",
     "PassResult",
     "available_flows",
@@ -51,6 +59,7 @@ __all__ = [
     "flow_pass",
     "get_flow",
     "get_pass",
+    "mapping_pass",
     "register_flow",
     "register_pass",
     "resolve_flow",

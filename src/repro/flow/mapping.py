@@ -1,0 +1,119 @@
+"""Technology mapping as a registered flow pass.
+
+A :class:`MappingPass` lets a :class:`~repro.flow.pipeline.FlowSpec`
+interleave technology-independent resynthesis with technology mapping: the
+pass maps the AIG it receives onto a configured library (objective, recovery
+rounds and cut parameters included) and hands the *unchanged* AIG to the
+next pass -- mapping is an observation of the network, not a transformation
+of it.  The produced :class:`~repro.synthesis.mapper.MappedCircuit` is
+recorded on the :class:`~repro.flow.pipeline.FlowResult` (``result.mapped``;
+the last mapping pass of a run wins), so a flow like::
+
+    FlowSpec(name="map-deep",
+             prologue=("balance",),
+             round_passes=("rewrite", "balance", "map"),
+             max_rounds=2)
+
+times and maps every resynthesis round and returns the final mapping
+alongside the usual per-pass telemetry.
+
+The default ``map`` pass targets the paper's static transmission-gate
+library under the delay objective; configured variants are registered with
+:func:`mapping_pass`::
+
+    mapping_pass("map-pseudo-area", family=LogicFamily.TG_PSEUDO,
+                 objective="area", rounds=2)
+
+Because the mapping configuration lives in the pass (and the registry keys
+passes by name), a flow's :meth:`~repro.flow.pipeline.FlowSpec.fingerprint`
+distinguishes differently configured mapping passes through their names.
+"""
+
+from __future__ import annotations
+
+from repro.core.families import LogicFamily
+from repro.core.library import build_library
+from repro.flow.passes import register_pass
+from repro.synthesis.aig import Aig
+from repro.synthesis.cuts import DEFAULT_CUT_LIMIT, DEFAULT_MAX_INPUTS
+from repro.synthesis.mapper import MappedCircuit, technology_map
+from repro.synthesis.matcher import matcher_for
+
+
+class MappingPass:
+    """A flow pass that technology-maps the network it is handed.
+
+    The pass returns its input unchanged (mapping preserves the subject
+    graph); the mapped circuit of the most recent :meth:`run` is available
+    as :attr:`last_mapped` and is collected into
+    :class:`~repro.flow.pipeline.FlowResult.mapped` by the flow driver.
+    """
+
+    def __init__(
+        self,
+        name: str = "map",
+        family: LogicFamily = LogicFamily.TG_STATIC,
+        objective: str = "delay",
+        rounds: int = 0,
+        recovery: str = "auto",
+        max_inputs: int = DEFAULT_MAX_INPUTS,
+        cut_limit: int = DEFAULT_CUT_LIMIT,
+        description: str = "",
+    ) -> None:
+        self.name = name
+        self.family = family
+        self.objective = objective
+        self.rounds = rounds
+        self.recovery = recovery
+        self.max_inputs = max_inputs
+        self.cut_limit = cut_limit
+        self.description = description or (
+            f"technology-map onto {family.value} ({objective} objective, "
+            f"{rounds} recovery round{'s' if rounds != 1 else ''})"
+        )
+        self.last_mapped: MappedCircuit | None = None
+
+    def run(self, aig: Aig) -> Aig:
+        library = build_library(self.family)
+        self.last_mapped = technology_map(
+            aig,
+            library,
+            matcher=matcher_for(library),
+            objective=self.objective,
+            rounds=self.rounds,
+            recovery=self.recovery,
+            max_inputs=self.max_inputs,
+            cut_limit=self.cut_limit,
+        )
+        return aig
+
+
+def mapping_pass(
+    name: str,
+    family: LogicFamily = LogicFamily.TG_STATIC,
+    objective: str = "delay",
+    rounds: int = 0,
+    recovery: str = "auto",
+    max_inputs: int = DEFAULT_MAX_INPUTS,
+    cut_limit: int = DEFAULT_CUT_LIMIT,
+    description: str = "",
+    replace: bool = False,
+) -> MappingPass:
+    """Register a configured :class:`MappingPass` under ``name``."""
+    pass_ = MappingPass(
+        name=name,
+        family=family,
+        objective=objective,
+        rounds=rounds,
+        recovery=recovery,
+        max_inputs=max_inputs,
+        cut_limit=cut_limit,
+        description=description,
+    )
+    register_pass(pass_, replace=replace)
+    return pass_
+
+
+#: The default mapping pass: the paper's static transmission-gate library,
+#: delay objective, no recovery rounds.
+DEFAULT_MAPPING_PASS = mapping_pass("map")

@@ -33,9 +33,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.flow.passes import PassResult, get_pass
 from repro.synthesis.aig import Aig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.synthesis.mapper import MappedCircuit
 
 #: The flow used when no flow is named (the paper's synthesis script).
 DEFAULT_FLOW = "resyn2rs"
@@ -43,11 +47,17 @@ DEFAULT_FLOW = "resyn2rs"
 
 @dataclass
 class FlowResult:
-    """Outcome of one flow execution: the optimized AIG plus per-pass telemetry."""
+    """Outcome of one flow execution: the optimized AIG plus per-pass telemetry.
+
+    ``mapped`` carries the technology-mapped circuit of the last mapping
+    pass the flow executed (see :mod:`repro.flow.mapping`), or ``None`` for
+    purely technology-independent flows.
+    """
 
     flow: str
     aig: Aig
     passes: list[PassResult] = field(default_factory=list)
+    mapped: "MappedCircuit | None" = None
 
     @property
     def seconds(self) -> float:
@@ -111,11 +121,21 @@ class FlowSpec:
         )
 
     def run(self, aig: Aig) -> FlowResult:
-        """Execute the flow, collecting per-pass timing and node telemetry."""
+        """Execute the flow, collecting per-pass timing and node telemetry.
+
+        Passes exposing a ``last_mapped`` attribute (mapping passes, see
+        :mod:`repro.flow.mapping`) additionally contribute a technology
+        mapping; the last one executed is returned as ``result.mapped``
+        (note it reflects the network state at that point of the pipeline,
+        which the keep-best bookkeeping below does not rewind).
+        """
         telemetry: list[PassResult] = []
+        last_mapped = [None]
 
         def apply(pass_name: str, current: Aig) -> Aig:
             pass_ = get_pass(pass_name)
+            if hasattr(pass_, "last_mapped"):
+                pass_.last_mapped = None  # stale results must not leak in
             nodes_before, depth_before = current.num_ands, current.depth()
             start = time.perf_counter()
             transformed = pass_.run(current)
@@ -129,6 +149,9 @@ class FlowSpec:
                     seconds=time.perf_counter() - start,
                 )
             )
+            produced = getattr(pass_, "last_mapped", None)
+            if produced is not None:
+                last_mapped[0] = produced
             return transformed
 
         current = aig
@@ -152,7 +175,9 @@ class FlowSpec:
             result.depth(),
         ):
             result = aig
-        return FlowResult(flow=self.name, aig=result, passes=telemetry)
+        return FlowResult(
+            flow=self.name, aig=result, passes=telemetry, mapped=last_mapped[0]
+        )
 
 
 _FLOW_REGISTRY: dict[str, FlowSpec] = {}

@@ -16,8 +16,11 @@ self-contained flow:
   functions;
 * :mod:`repro.synthesis.matcher` -- Boolean matching of cut functions against
   a characterized :class:`~repro.core.library.GateLibrary`;
-* :mod:`repro.synthesis.mapper` -- delay-oriented cut-based technology
-  mapping with area recovery, producing a
+* :mod:`repro.synthesis.cost` -- the pluggable mapping cost models
+  (delay / area-flow / power-flow) owning per-cut cost, tie-breaks and
+  preferred-cell selection;
+* :mod:`repro.synthesis.mapper` -- cut-based technology mapping with
+  multi-round required-time recovery, producing a
   :class:`~repro.synthesis.mapper.MappedCircuit` with the statistics reported
   in Table 3 (gate count, area, logic depth, normalized and absolute delay).
 """
@@ -25,23 +28,34 @@ self-contained flow:
 from repro.synthesis.aig import Aig, AigLiteral
 from repro.synthesis.builder import CircuitBuilder
 from repro.synthesis.blif import read_blif, write_blif
+from repro.synthesis.cost import CostModel, cost_model_for, register_cost_model
 from repro.synthesis.optimize import optimize, balance, rewrite
 from repro.synthesis.cuts import enumerate_cuts
 from repro.synthesis.matcher import ExhaustiveLibraryMatcher, LibraryMatcher
-from repro.synthesis.mapper import MappedCircuit, technology_map
+from repro.synthesis.mapper import (
+    MappedCircuit,
+    MappingResult,
+    map_rounds,
+    technology_map,
+)
 
 __all__ = [
     "Aig",
     "AigLiteral",
     "CircuitBuilder",
+    "CostModel",
     "read_blif",
     "write_blif",
     "optimize",
     "balance",
     "rewrite",
+    "cost_model_for",
     "enumerate_cuts",
     "ExhaustiveLibraryMatcher",
     "LibraryMatcher",
     "MappedCircuit",
+    "MappingResult",
+    "map_rounds",
+    "register_cost_model",
     "technology_map",
 ]

@@ -72,18 +72,33 @@ def read_blif(text: str, name: str | None = None) -> Aig:
             fanins = signals[:-1]
             cubes: list[str] = []
             output_value = "1"
+            bare_rows = cube_rows = 0
             index += 1
             while index < len(lines) and not lines[index].startswith("."):
                 row = lines[index].split()
-                if len(row) == 1 and not fanins:
+                if len(row) == 1:
+                    # Cube part omitted: a constant driver.  Zero-input
+                    # ``.names`` covers are the common form, but tools also
+                    # emit the bare output value under declared fanins
+                    # (every input a don't-care), so accept both.
                     output_value = row[0]
-                    cubes.append("")
+                    cubes.append("-" * len(fanins))
+                    bare_rows += 1
                 elif len(row) == 2:
                     cubes.append(row[0])
                     output_value = row[1]
+                    cube_rows += 1
                 else:
                     raise BlifParseError(f"malformed cover row: {lines[index]!r}")
                 index += 1
+            if bare_rows and cube_rows:
+                # A bare output value only means "constant driver"; mixed
+                # with cube rows it is almost certainly a cube whose output
+                # column was dropped, so keep rejecting that.
+                raise BlifParseError(
+                    f"cover of {target!r} mixes bare output-value rows with "
+                    "cube rows"
+                )
             covers[target] = (fanins, cubes, output_value)
         elif keyword == ".end":
             index += 1

@@ -1,22 +1,39 @@
 """Cut-based technology mapping onto a characterized gate library.
 
-The mapper follows the classical two-phase scheme used by ABC's ``map``
-command:
+The mapper is a layered engine in the spirit of ABC's ``map`` command:
 
-1. **Matching / dynamic programming.**  Priority cuts are enumerated for every
-   AND node and matched against the library through the NPN-canonical index
-   (:class:`~repro.synthesis.matcher.LibraryMatcher`).  A forward pass then
-   computes, for every node, the best arrival time (delay mode) or the best
-   area flow (area mode) over its matched cuts.
-2. **Covering.**  A backward traversal from the primary outputs selects the
+1. **Matching.**  Priority cuts are enumerated for every AND node and matched
+   against the library through the NPN-canonical index
+   (:class:`~repro.synthesis.matcher.LibraryMatcher`).  The matches are
+   assembled once per mapping call into a per-node candidate table
+   (:class:`~repro.synthesis.cost.MatchCandidate`) read straight off the
+   :class:`~repro.synthesis.cuts.CutSet` arrays, so re-pricing the same
+   matches across recovery rounds costs nothing.
+2. **Dynamic programming.**  A forward pass computes, for every node, the
+   best arrival time and cost flow over its candidates.  The objective
+   policy -- local gate cost, arrival/flow tie-break, preferred cell per
+   canonical class -- is owned entirely by the
+   :class:`~repro.synthesis.cost.CostModel` (``delay``/``area``/``power``);
+   the DP itself is objective agnostic.
+3. **Covering.**  A backward traversal from the primary outputs selects the
    chosen cut of every required node and instantiates one library gate per
    selected cut.
+4. **Required-time recovery** (``rounds > 0``).  Round 0 maps under the
+   requested objective exactly as above; each recovery round then computes
+   required times against the round-0 deadline over the previous cover and
+   re-runs the DP under the recovery cost model (area or power flow with
+   exact per-cover reference counts), accepting per node only candidates
+   that meet their required time.  A round's result is kept only if the
+   re-timed circuit is no slower than round 0 and no costlier than the best
+   round so far, so recovery can only improve the recovered axis at equal
+   worst delay.
 
 Input and output polarities are free: every library cell carries an output
 inverter providing both polarities, and the XOR transmission gates accept both
 literal polarities directly (paper Secs. 3.1 and 4.3); the CMOS reference
 library is mapped under exactly the same convention so that the comparison is
-fair.  Circuit-level timing is computed on the mapped netlist with the
+fair.  Circuit-level timing is computed on the mapped netlist by the
+arrival/required/slack engine of :mod:`repro.analysis.timing` with the
 paper's load assumption (every fanout charges one standard input capacitance
 per switching event) and normalized to the technology intrinsic delay
 ``tau`` to produce the Table-3 "Norm." and "Abs." columns.
@@ -27,15 +44,26 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
+import numpy as np
+
 from repro import profiling
 from repro.core.library import GateLibrary
 from repro.synthesis.aig import Aig, lit_node
 from repro.synthesis.aig_array import aig_arrays
+from repro.synthesis.cost import (
+    EPSILON,
+    CostModel,
+    MappingContext,
+    MatchCandidate,
+    cost_model_for,
+    resolve_recovery,
+)
 from repro.synthesis.cuts import DEFAULT_CUT_LIMIT, DEFAULT_MAX_INPUTS, cut_set_for
 from repro.synthesis.matcher import CellMatch, _MatcherBase, matcher_for
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.activity import ActivityReport
+    from repro.analysis.power import NetlistPower
 
 
 @dataclass(frozen=True)
@@ -80,6 +108,15 @@ class MappedCircuit:
     po_nodes: tuple[int, ...]
     levels: int = 0
     normalized_delay: float = 0.0
+    #: Worst ``required - arrival`` over all nets (0 on a timing-feasible
+    #: circuit; recorded by the timing engine alongside the delay figures).
+    worst_slack: float = 0.0
+    #: Power report attached by :meth:`attach_power` when the circuit has
+    #: been analyzed (``None`` until then); excluded from equality so two
+    #: identical mappings compare equal whether or not they were analyzed.
+    power_report: "NetlistPower | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def gate_count(self) -> int:
@@ -100,29 +137,60 @@ class MappedCircuit:
             histogram[gate.function_id] = histogram.get(gate.function_id, 0) + 1
         return histogram
 
+    def attach_power(self, report: "NetlistPower") -> None:
+        """Attach a power analysis so :meth:`statistics` can report it."""
+        self.power_report = report
+
     def statistics(self) -> dict[str, float]:
-        return {
+        stats = {
             "gates": self.gate_count,
             "area": self.area,
             "levels": self.levels,
             "normalized_delay": self.normalized_delay,
             "absolute_delay_ps": self.absolute_delay_ps,
+            "worst_slack": self.worst_slack,
         }
+        if self.power_report is not None:
+            stats["dynamic_power"] = (
+                self.power_report.dynamic + self.power_report.input_dynamic
+            )
+            stats["static_power"] = self.power_report.static
+            stats["total_power"] = self.power_report.total
+        return stats
 
 
 @dataclass
-class _NodeChoice:
-    match: CellMatch
-    leaves: tuple[int, ...]
-    table: int
-    arrival: float
-    #: Objective cost flow: area flow for delay/area mapping, activity-
-    #: weighted switched-capacitance flow for power mapping.
-    flow: float
+class MappingResult:
+    """Outcome of a multi-round mapping run (:func:`map_rounds`).
+
+    ``rounds`` holds every round's circuit as built (round 0 first);
+    ``accepted`` records, per round, whether the keep-best driver kept it
+    (round 0 is always kept; a recovery round is kept only if it is no
+    slower than round 0 and no costlier -- under the recovery cost model --
+    than the best accepted round before it).
+    """
+
+    objective: str
+    recovery: str | None
+    rounds: list[MappedCircuit]
+    accepted: list[bool]
+
+    @property
+    def final(self) -> MappedCircuit:
+        """The last accepted round's circuit."""
+        for mapped, kept in zip(reversed(self.rounds), reversed(self.accepted)):
+            if kept:
+                return mapped
+        return self.rounds[0]
 
 
 class MappingError(RuntimeError):
     """Raised when a node cannot be matched by any library cell."""
+
+
+#: How many times one recovery round may be retried with a tightened
+#: deadline before the overshooting result is recorded as rejected.
+_RECOVERY_RETRIES = 3
 
 
 def _pin_bindings(match: CellMatch) -> tuple[tuple[str, bool], ...]:
@@ -146,40 +214,333 @@ def _pin_bindings(match: CellMatch) -> tuple[tuple[str, bool], ...]:
     )
 
 
-def technology_map(
+def _candidates_for(
+    arrays, cut_set, matcher: _MatcherBase, prefer: str
+) -> list[list[MatchCandidate]]:
+    """The (memoized) candidate table of a cut set under one matcher/policy.
+
+    The memo lives on the :class:`CutSet` (which is itself memoized per AIG
+    structure) keyed by matcher identity and preferred-cell policy, so the
+    repeated mappings of one subject -- the three objectives of a Pareto
+    sweep, the rounds of a recovery run, re-maps after the cut memo warmed
+    -- pay for matching and candidate construction once.  The matcher is
+    stored in the entry to keep the identity key valid.
+    """
+    memo = cut_set.__dict__.get("_match_tables")
+    if memo is None:
+        memo = {}
+        object.__setattr__(cut_set, "_match_tables", memo)
+    key = (id(matcher), prefer)
+    entry = memo.get(key)
+    if entry is None or entry[0] is not matcher:
+        memo[key] = entry = (
+            matcher,
+            _build_candidates(arrays, cut_set, matcher, prefer),
+        )
+    return entry[1]
+
+
+def _build_candidates(
+    arrays, cut_set, matcher: _MatcherBase, prefer: str
+) -> list[list[MatchCandidate]]:
+    """Per-node candidate table: every matched ranked cut of every AND node.
+
+    Reads the :class:`CutSet` struct-of-arrays directly -- the valid
+    ``(node, slot)`` pairs are flattened with one ``repeat``/``arange`` pass
+    and only those compact rows are converted to Python scalars, instead of
+    materializing the full padded ``as_python`` view.  Candidate order per
+    node is slot order (the cut ranking), nodes in topological order, so the
+    DP sees exactly the sequence the historical single-pass mapper saw.
+    """
+    candidates: list[list[MatchCandidate]] = [[] for _ in range(arrays.num_nodes)]
+    and_nodes = arrays.and_nodes
+    if and_nodes.size == 0:
+        return candidates
+    # Ranked cuts only: the last valid slot of every node is the trivial
+    # ``{node}`` cut, which participates in fanout merging but is never
+    # matched on its own.
+    per_node = cut_set.count[and_nodes] - 1
+    total = int(per_node.sum())
+    if total == 0:
+        return candidates
+    nodes_rep = np.repeat(and_nodes, per_node)
+    starts = np.concatenate(([0], np.cumsum(per_node)[:-1]))
+    slots = np.arange(total) - np.repeat(starts, per_node)
+
+    node_list = nodes_rep.tolist()
+    size_list = cut_set.size[nodes_rep, slots].tolist()
+    table_list = cut_set.table[nodes_rep, slots].tolist()
+    support_list = cut_set.support[nodes_rep, slots].tolist()
+    leaves_rows = cut_set.leaves[nodes_rep, slots].tolist()
+
+    match_positions = matcher.match_positions
+    for index in range(total):
+        found = match_positions(
+            size_list[index],
+            table_list[index],
+            prefer=prefer,
+            support_mask=support_list[index],
+        )
+        if found is None:
+            continue
+        match, positions, table = found
+        row = leaves_rows[index]
+        cell = match.cell
+        fo4 = cell.delay.fo4_average
+        parasitic = cell.delay.parasitic_output
+        candidates[node_list[index]].append(
+            MatchCandidate(
+                leaves=tuple(row[p] for p in positions),
+                table=table,
+                match=match,
+                delay=fo4,
+                area=cell.area,
+                parasitic=parasitic,
+                effort=max(fo4 - parasitic, 0.0) / 4.0,
+            )
+        )
+    return candidates
+
+
+def _price_candidates(
+    and_node_list: list[int],
+    candidates: list[list[MatchCandidate]],
+    model: CostModel,
+    context: MappingContext,
+) -> list[list[float]]:
+    """Per-candidate local gate costs under one cost model.
+
+    Computed once per (model, mapping call) and reused by every round that
+    prices under that model -- the costs are round-invariant, only the flow
+    normalization and the required-time constraints change between rounds.
+    """
+    gate_cost = model.gate_cost
+    prices: list[list[float]] = [[] for _ in range(len(candidates))]
+    for node in and_node_list:
+        prices[node] = [gate_cost(cand, node, context) for cand in candidates[node]]
+    return prices
+
+
+_DELAY_TIEBREAK = cost_model_for("delay")
+
+
+def _dp_round(
+    aig: Aig,
+    library: GateLibrary,
+    and_node_list: list[int],
+    candidates: list[list[MatchCandidate]],
+    prices: list[list[float]],
+    model: CostModel,
+    references: list[float],
+    required: list[float] | None = None,
+    load_aware: bool = False,
+) -> tuple[dict[int, MatchCandidate], list[float], list[float]]:
+    """One forward DP pass: best candidate, arrival and flow per node.
+
+    Without ``required`` this is the classical single-pass mapping under
+    ``model`` with FO4 cell delays (round 0).  With ``required`` only
+    candidates meeting their node's deadline compete under ``model``; if
+    none does, the arrival-optimal candidate is chosen instead so arrivals
+    degrade as little as possible.  ``load_aware`` switches the arrival
+    model to the timing engine's ``parasitic + effort * loads`` using the
+    per-node reference estimate as the load -- the recovery rounds use it
+    so the DP's deadlines line up with the re-timed circuit.
+    """
+    num_nodes = len(candidates)
+    arrival_list = [0.0] * num_nodes
+    flow_list = [0.0] * num_nodes
+    choices: dict[int, MatchCandidate] = {}
+    better = model.better
+    fallback_better = _DELAY_TIEBREAK.better
+
+    for node in and_node_list:
+        best: MatchCandidate | None = None
+        best_arrival = best_flow = 0.0
+        fallback: MatchCandidate | None = None
+        fallback_arrival = fallback_flow = 0.0
+        node_required = required[node] if required is not None else None
+        node_references = references[node]
+        for candidate, cost in zip(candidates[node], prices[node]):
+            leaves = candidate.leaves
+            gate_delay = (
+                candidate.parasitic + candidate.effort * node_references
+                if load_aware
+                else candidate.delay
+            )
+            arrival = (
+                max((arrival_list[leaf] for leaf in leaves), default=0.0)
+                + gate_delay
+            )
+            flow = (
+                cost + sum(flow_list[leaf] for leaf in leaves)
+            ) / node_references
+            if node_required is not None:
+                if fallback is None or fallback_better(
+                    arrival, flow, fallback_arrival, fallback_flow
+                ):
+                    fallback = candidate
+                    fallback_arrival, fallback_flow = arrival, flow
+                if arrival > node_required + EPSILON:
+                    continue
+            if best is None or better(arrival, flow, best_arrival, best_flow):
+                best = candidate
+                best_arrival, best_flow = arrival, flow
+        if best is None:
+            if fallback is None:
+                raise MappingError(
+                    f"node {node} of {aig.name!r} has no matching cell in library "
+                    f"{library.name!r}"
+                )
+            best = fallback
+            best_arrival, best_flow = fallback_arrival, fallback_flow
+        choices[node] = best
+        arrival_list[node] = best_arrival
+        flow_list[node] = best_flow
+    return choices, arrival_list, flow_list
+
+
+def _cover(
+    aig: Aig,
+    library: GateLibrary,
+    choices: dict[int, MatchCandidate],
+    pin_capacitances,
+):
+    """Backward covering: instantiate one gate per selected cut and time it.
+
+    Returns the circuit together with its
+    :class:`~repro.analysis.timing.TimingReport` so the recovery driver can
+    reuse the arrival/required view without re-timing.
+    """
+    required: list[int] = []
+    seen: set[int] = set()
+    stack = [lit_node(literal) for literal in aig.po_literals]
+    while stack:
+        node = stack.pop()
+        if node in seen or node == 0 or aig.is_pi(node):
+            continue
+        seen.add(node)
+        required.append(node)
+        for leaf in choices[node].leaves:
+            stack.append(leaf)
+
+    gates: list[MappedGate] = []
+    for node in sorted(required):
+        choice = choices[node]
+        cell = choice.match.cell
+        effort = max(cell.delay.fo4_average - cell.delay.parasitic_output, 0.0) / 4.0
+        leaf_loads = pin_capacitances(choice.match)
+        gates.append(
+            MappedGate(
+                output=node,
+                cell_name=cell.name,
+                function_id=cell.function_id,
+                leaves=choice.leaves,
+                table=choice.table,
+                area=cell.area,
+                intrinsic_delay=cell.delay.fo4_average,
+                parasitic_delay=cell.delay.parasitic_output,
+                effort_delay=effort,
+                leaf_loads=leaf_loads,
+                inverted=choice.match.match.output_negated,
+            )
+        )
+
+    mapped = MappedCircuit(
+        name=aig.name,
+        library_name=library.name,
+        tau_ps=library.tau_ps,
+        gates=gates,
+        primary_inputs=aig.pi_names,
+        primary_outputs=aig.po_names,
+        po_nodes=tuple(lit_node(literal) for literal in aig.po_literals),
+    )
+    # Static timing on the mapped netlist is owned by the analysis engine
+    # (local import: the analysis package layers above synthesis).
+    from repro.analysis.timing import compute_timing
+
+    report = compute_timing(mapped)
+    mapped.normalized_delay = report.normalized_delay
+    mapped.levels = report.levels
+    mapped.worst_slack = report.worst_slack()
+    return mapped, report
+
+
+def _cover_references(mapped: MappedCircuit, fanout: list[int]) -> list[float]:
+    """Exact per-node reference counts of a cover (recovery-round flows).
+
+    A node selected by the previous round is referenced once per cover gate
+    reading it as a leaf plus once per primary output it drives -- the exact
+    sharing the area/power flow normalizes by, and the load estimate of the
+    recovery rounds' arrival model.  Nodes outside the cover keep their
+    structural fanout estimate.
+    """
+    counts: dict[int, int] = {}
+    for gate in mapped.gates:
+        for leaf in gate.leaves:
+            counts[leaf] = counts.get(leaf, 0) + 1
+    for node in mapped.po_nodes:
+        counts[node] = counts.get(node, 0) + 1
+    references = [max(count, 1.0) for count in fanout]
+    for node, count in counts.items():
+        references[node] = float(max(count, 1))
+    return references
+
+
+def _required_times(num_nodes: int, report, deadline: float) -> list[float]:
+    """Per-node required times of a cover, re-anchored at ``deadline``.
+
+    The timing report's required times are computed against the previous
+    round's own worst arrival; shifting them onto the requested deadline
+    hands every net its recoverable slack (a deadline *below* the report's
+    worst arrival tightens every net -- the recovery driver uses that to
+    compensate load-estimate drift).  Nodes outside the cover are
+    unconstrained (``+inf``): their arrival only matters through covered
+    sinks, which enforce their own deadlines against actual leaf arrivals.
+    """
+    shift = deadline - report.normalized_delay
+    required = [float("inf")] * num_nodes
+    for net, value in report.required.items():
+        if 0 <= net < num_nodes:
+            required[net] = value + shift
+    return required
+
+
+def map_rounds(
     aig: Aig,
     library: GateLibrary,
     matcher: _MatcherBase | None = None,
     objective: str = "delay",
+    rounds: int = 0,
+    recovery: str = "auto",
     max_inputs: int = DEFAULT_MAX_INPUTS,
     cut_limit: int = DEFAULT_CUT_LIMIT,
     activities: "ActivityReport | None" = None,
-) -> MappedCircuit:
-    """Map an AIG onto a gate library.
+) -> MappingResult:
+    """Map an AIG with ``rounds`` required-time recovery rounds.
 
-    ``objective`` selects the primary cost during the dynamic-programming
-    pass: ``"delay"`` minimizes arrival time with area flow as tie-break,
-    ``"area"`` minimizes area flow with arrival time as tie-break, and
-    ``"power"`` minimizes the activity-weighted switched-capacitance flow
-    (dynamic switching of the cell's output/internal/pin capacitances at the
-    node and leaf activities, plus the expected pseudo-family static
-    current) with arrival time as tie-break.
-
-    ``activities`` supplies the per-node signal statistics for power mapping
-    (see :mod:`repro.analysis.activity`); when omitted they are computed
-    with the default exact/Monte-Carlo policy.  The argument is ignored for
-    the delay and area objectives.
+    Round 0 maps under ``objective``'s cost model (bit-identical to the
+    historical single-pass ``technology_map``); each subsequent round
+    recomputes required times against the round-0 deadline over the best
+    cover so far and re-chooses matches under the ``recovery`` cost model
+    (``"auto"``: area recovery for the delay/area objectives, power recovery
+    for the power objective) wherever slack allows.  Rounds that fail to
+    improve -- slower than round 0, or costlier than the incumbent under
+    the recovery model -- are recorded but not accepted, so
+    :attr:`MappingResult.final` never regresses either axis.
     """
-    if objective not in ("delay", "area", "power"):
-        raise ValueError("objective must be 'delay', 'area' or 'power'")
+    if rounds < 0:
+        raise ValueError("rounds must be non-negative")
+    model = cost_model_for(objective)
+    recovery_model: CostModel | None = None
+    if rounds > 0:
+        recovery_model = cost_model_for(resolve_recovery(objective, recovery))
     if matcher is None:
         matcher = matcher_for(library)
-    activity_list: list[float] | None = None
-    probability_list: list[float] | None = None
+
     # Per-call memo of the resolved per-leaf pin capacitances of a match
     # (keyed by identity: matches are memoized singletons inside the matcher
     # for the duration of the call; the match is stored alongside to keep it
-    # alive).  Shared between the power DP and the covering phase.
+    # alive).  Shared between the cost models and the covering phase.
     pin_caps_memo: dict[int, tuple[CellMatch, tuple[float, ...]]] = {}
 
     def pin_capacitances(match: CellMatch) -> tuple[float, ...]:
@@ -193,159 +554,199 @@ def technology_map(
             pin_caps_memo[id(match)] = entry = (match, caps)
         return entry[1]
 
-    if objective == "power":
+    context = MappingContext(pin_capacitances=pin_capacitances)
+    needs_activities = model.name == "power" or (
+        recovery_model is not None and recovery_model.name == "power"
+    )
+    if needs_activities:
         if activities is None:
             # Local import: the analysis package layers above synthesis.
             from repro.analysis.activity import compute_activities
 
             activities = compute_activities(aig)
-        activity_list = activities.activity.tolist()
-        probability_list = activities.probability.tolist()
+        context.activity = activities.activity.tolist()
+        context.probability = activities.probability.tolist()
+
     with profiling.stage("cuts"):
         cut_set = cut_set_for(aig, max_inputs=max_inputs, cut_limit=cut_limit)
         arrays = aig_arrays(aig)
 
-    # Forward DP over the array representation: per-node best arrival and
-    # cost flow live in dense arrays indexed by node id (constant and primary
-    # inputs start at zero; every cut leaf precedes its node in topological
-    # order, so reads always hit finalized entries), choices are resolved per
-    # node from the node's cut slots.  Plain Python lists are used for the
-    # dense stores because the loop reads and writes single scalars.
-    num_nodes = arrays.num_nodes
-    arrival_list = [0.0] * num_nodes
-    flow_list = [0.0] * num_nodes
-    choices: dict[int, _NodeChoice] = {}
+    and_node_list = arrays.and_nodes.tolist()
     fanout = arrays.fanout.tolist()
-    cut_count, cut_size, cut_leaves, cut_table, cut_support = cut_set.as_python()
+    structural_references = [max(count, 1.0) for count in fanout]
 
-    # Cell selection within a canonical class: smallest area for the area
-    # *and* power objectives (switched capacitance is monotone in the device
-    # widths, i.e. in the area), fastest cell for delay.
-    prefer = "delay" if objective == "delay" else "area"
+    # Candidate tables are keyed by the preferred-cell policy (delay-optimal
+    # vs area-optimal cell per canonical class) and shared between models;
+    # prices are keyed by (model, policy).  Both are built at most once per
+    # call.
+    candidate_tables: dict[str, list[list[MatchCandidate]]] = {}
+    price_tables: dict[tuple[str, str], list[list[float]]] = {}
+
+    def tables_for(which: CostModel, prefer: str | None = None):
+        prefer = which.prefer if prefer is None else prefer
+        table = candidate_tables.get(prefer)
+        if table is None:
+            table = candidate_tables[prefer] = _candidates_for(
+                arrays, cut_set, matcher, prefer
+            )
+        prices = price_tables.get((which.name, prefer))
+        if prices is None:
+            prices = price_tables[(which.name, prefer)] = _price_candidates(
+                and_node_list, table, which, context
+            )
+        return table, prices
 
     with profiling.stage("match"):
-        for node in arrays.and_nodes.tolist():
-            best: _NodeChoice | None = None
-            node_leaves = cut_leaves[node]
-            node_tables = cut_table[node]
-            node_sizes = cut_size[node]
-            node_support = cut_support[node]
-            for slot in range(cut_count[node] - 1):  # last slot: trivial cut
-                found = matcher.match_positions(
-                    node_sizes[slot],
-                    node_tables[slot],
-                    prefer=prefer,
-                    support_mask=node_support[slot],
-                )
-                if found is None:
-                    continue
-                match, positions, table = found
-                slot_leaves = node_leaves[slot]
-                leaves = tuple(slot_leaves[p] for p in positions)
-                cell = match.cell
-                node_arrival = (
-                    max((arrival_list[leaf] for leaf in leaves), default=0.0)
-                    + cell.delay.fo4_average
-                )
-                references = max(fanout[node], 1)
-                if objective == "power":
-                    power_report = cell.power
-                    gate_power = (
-                        activity_list[node] * power_report.switched_capacitance
-                    )
-                    for position, capacitance in enumerate(pin_capacitances(match)):
-                        gate_power += activity_list[leaves[position]] * capacitance
-                    probability_on = (
-                        1.0 - probability_list[node]
-                        if match.match.output_negated
-                        else probability_list[node]
-                    )
-                    gate_power += power_report.static_power(probability_on)
-                    node_flow = (
-                        gate_power + sum(flow_list[leaf] for leaf in leaves)
-                    ) / references
-                else:
-                    node_flow = (
-                        cell.area + sum(flow_list[leaf] for leaf in leaves)
-                    ) / references
-                candidate = _NodeChoice(match, leaves, table, node_arrival, node_flow)
-                if best is None:
-                    best = candidate
-                    continue
-                if objective == "delay":
-                    better = (
-                        candidate.arrival < best.arrival - 1e-9
-                        or (
-                            abs(candidate.arrival - best.arrival) <= 1e-9
-                            and candidate.flow < best.flow - 1e-9
-                        )
-                    )
-                else:
-                    better = (
-                        candidate.flow < best.flow - 1e-9
-                        or (
-                            abs(candidate.flow - best.flow) <= 1e-9
-                            and candidate.arrival < best.arrival - 1e-9
-                        )
-                    )
-                if better:
-                    best = candidate
-            if best is None:
-                raise MappingError(
-                    f"node {node} of {aig.name!r} has no matching cell in library "
-                    f"{library.name!r}"
-                )
-            choices[node] = best
-            arrival_list[node] = best.arrival
-            flow_list[node] = best.flow
+        candidates, prices = tables_for(model)
+        choices, _, _ = _dp_round(
+            aig,
+            library,
+            and_node_list,
+            candidates,
+            prices,
+            model,
+            structural_references,
+        )
 
     with profiling.stage("cover"):
-        # Covering: walk back from the primary outputs.
-        required: list[int] = []
-        seen: set[int] = set()
-        stack = [lit_node(literal) for literal in aig.po_literals]
-        while stack:
-            node = stack.pop()
-            if node in seen or node == 0 or aig.is_pi(node):
-                continue
-            seen.add(node)
-            required.append(node)
-            for leaf in choices[node].leaves:
-                stack.append(leaf)
+        mapped, report = _cover(aig, library, choices, pin_capacitances)
 
-        gates: list[MappedGate] = []
-        for node in sorted(required):
-            choice = choices[node]
-            cell = choice.match.cell
-            effort = max(cell.delay.fo4_average - cell.delay.parasitic_output, 0.0) / 4.0
-            leaf_loads = pin_capacitances(choice.match)
-            gates.append(
-                MappedGate(
-                    output=node,
-                    cell_name=cell.name,
-                    function_id=cell.function_id,
-                    leaves=choice.leaves,
-                    table=choice.table,
-                    area=cell.area,
-                    intrinsic_delay=cell.delay.fo4_average,
-                    parasitic_delay=cell.delay.parasitic_output,
-                    effort_delay=effort,
-                    leaf_loads=leaf_loads,
-                    inverted=choice.match.match.output_negated,
-                )
-            )
+    result = MappingResult(
+        objective=model.name,
+        recovery=recovery_model.name if recovery_model is not None else None,
+        rounds=[mapped],
+        accepted=[True],
+    )
+    if rounds == 0 or not mapped.gates:
+        return result
 
-        mapped = MappedCircuit(
-            name=aig.name,
-            library_name=library.name,
-            tau_ps=library.tau_ps,
-            gates=gates,
-            primary_inputs=aig.pi_names,
-            primary_outputs=aig.po_names,
-            po_nodes=tuple(lit_node(literal) for literal in aig.po_literals),
+    # Recovery: the DP re-chooses matches under the recovery cost model,
+    # constrained per node by the previous cover's required times anchored
+    # at the round-0 worst delay, with the previous cover's reference
+    # counts as both the flow normalization and the arrival-model load
+    # estimate.  A keep-best check over the re-timed circuit makes the
+    # no-worse-delay / no-worse-cost guarantee unconditional.
+    baseline_delay = mapped.normalized_delay
+    recovery_candidates, recovery_prices = tables_for(recovery_model)
+    if recovery_model.prefer != model.prefer:
+        # Widen the recovery DP's choice set with the round-0 policy's
+        # candidates (e.g. the delay-preferred cell of every canonical
+        # class): timing-critical nodes can then keep the fast cells round 0
+        # used instead of degrading to the cheapest cell of the class.
+        extra_candidates, extra_prices = tables_for(recovery_model, model.prefer)
+        recovery_candidates = [
+            base + extra
+            for base, extra in zip(recovery_candidates, extra_candidates)
+        ]
+        recovery_prices = [
+            base + extra for base, extra in zip(recovery_prices, extra_prices)
+        ]
+
+    def cover_cost(mapped_round: MappedCircuit, round_choices) -> float:
+        price = recovery_model.gate_cost
+        return sum(
+            price(round_choices[gate.output], gate.output, context)
+            for gate in mapped_round.gates
         )
-        _compute_timing(mapped)
-    return mapped
+
+    best_cost = cover_cost(mapped, choices)
+    best_mapped, best_report = mapped, report
+
+    # The DP estimates each candidate's load from the previous cover; when
+    # the re-timed circuit overshoots the deadline because the new cover's
+    # fanouts drifted from that estimate, the round is retried with the
+    # deadline tightened by the observed overshoot (the margin persists
+    # across rounds -- drift learned once stays compensated).
+    margin = 0.0
+
+    with profiling.stage("recover"):
+        for _ in range(rounds):
+            attempts = _RECOVERY_RETRIES
+            while True:
+                required = _required_times(
+                    arrays.num_nodes, best_report, baseline_delay - margin
+                )
+                round_choices, _, _ = _dp_round(
+                    aig,
+                    library,
+                    and_node_list,
+                    recovery_candidates,
+                    recovery_prices,
+                    recovery_model,
+                    _cover_references(best_mapped, fanout),
+                    required=required,
+                    load_aware=True,
+                )
+                round_mapped, round_report = _cover(
+                    aig, library, round_choices, pin_capacitances
+                )
+                overshoot = round_mapped.normalized_delay - baseline_delay
+                if overshoot > EPSILON and attempts > 0:
+                    attempts -= 1
+                    margin += overshoot
+                    continue
+                break
+            round_cost = cover_cost(round_mapped, round_choices)
+            accepted = (
+                overshoot <= EPSILON and round_cost <= best_cost + EPSILON
+            )
+            result.rounds.append(round_mapped)
+            result.accepted.append(accepted)
+            if not accepted:
+                # The driver is deterministic: re-running from the same
+                # accepted cover would reproduce the same rejected round.
+                break
+            improved = round_cost < best_cost - EPSILON or round_mapped.area < (
+                best_mapped.area - EPSILON
+            )
+            best_cost = round_cost
+            best_mapped, best_report = round_mapped, round_report
+            if not improved:
+                break  # fixpoint: further rounds cannot find new slack
+    return result
+
+
+def technology_map(
+    aig: Aig,
+    library: GateLibrary,
+    matcher: _MatcherBase | None = None,
+    objective: str = "delay",
+    max_inputs: int = DEFAULT_MAX_INPUTS,
+    cut_limit: int = DEFAULT_CUT_LIMIT,
+    activities: "ActivityReport | None" = None,
+    rounds: int = 0,
+    recovery: str = "auto",
+) -> MappedCircuit:
+    """Map an AIG onto a gate library.
+
+    ``objective`` names the registered :class:`~repro.synthesis.cost.CostModel`
+    driving the dynamic-programming pass: ``"delay"`` minimizes arrival time
+    with area flow as tie-break, ``"area"`` minimizes area flow with arrival
+    time as tie-break, and ``"power"`` minimizes the activity-weighted
+    switched-capacitance flow with arrival time as tie-break.
+
+    ``rounds`` adds required-time recovery rounds on top of the round-0
+    mapping (see :func:`map_rounds`): the returned circuit then has area (or
+    power, per ``recovery``) no worse than round 0 at unchanged worst delay.
+    With the default ``rounds=0`` the result is bit-identical to the
+    historical single-pass mapper.
+
+    ``activities`` supplies the per-node signal statistics for power mapping
+    (see :mod:`repro.analysis.activity`); when omitted they are computed
+    with the default exact/Monte-Carlo policy.  The argument is ignored
+    unless the power cost model participates.
+    """
+    return map_rounds(
+        aig,
+        library,
+        matcher=matcher,
+        objective=objective,
+        rounds=rounds,
+        recovery=recovery,
+        max_inputs=max_inputs,
+        cut_limit=cut_limit,
+        activities=activities,
+    ).final
 
 
 def topological_gates(gates: Iterable[MappedGate]) -> list[MappedGate]:
@@ -502,18 +903,3 @@ def verify_mapping_reference(
         values[gate.output] = output_words
 
     return _outputs_match(values, aig, reference)
-
-
-def _compute_timing(mapped: MappedCircuit) -> None:
-    """Static timing and logic depth on the mapped netlist.
-
-    Delegates to the full arrival/required/slack engine in
-    :mod:`repro.analysis.timing` (local import: the analysis package layers
-    above synthesis), which walks the gates in true topological order, and
-    records the two Table-3 figures on the circuit.
-    """
-    from repro.analysis.timing import compute_timing
-
-    report = compute_timing(mapped)
-    mapped.normalized_delay = report.normalized_delay
-    mapped.levels = report.levels

@@ -55,3 +55,92 @@ class TestBuiltCircuits:
         second = build_benchmark("i18")
         assert first.num_ands == second.num_ands
         assert first.depth() == second.depth()
+
+
+class TestExtraBenchmarks:
+    """Run-time registration of external circuits (runner --extra-benchmark)."""
+
+    @pytest.fixture
+    def blif_file(self, tmp_path):
+        from repro.synthesis.blif import write_blif
+
+        path = tmp_path / "user-circuit.blif"
+        path.write_text(write_blif(build_benchmark("add-16")))
+        return path
+
+    def test_register_blif_benchmark(self, blif_file):
+        from repro.bench import (
+            all_benchmarks,
+            register_blif_benchmark,
+            unregister_benchmark,
+        )
+        from repro.logic.simulation import random_pattern_words
+
+        try:
+            case = register_blif_benchmark(blif_file)
+            assert case.name == "user-circuit"
+            assert case.paper_inputs == 33 and case.paper_outputs == 17
+            assert benchmark_by_name("user-circuit") is case
+            assert all_benchmarks()[-1] is case
+            assert all_benchmarks()[: len(BENCHMARKS)] == BENCHMARKS
+            # The registered generator rebuilds the same circuit.
+            reference = build_benchmark("add-16")
+            rebuilt = case.build()
+            assert rebuilt.name == "user-circuit"
+            patterns = random_pattern_words(reference.pi_names, num_words=2, seed=1)
+            packed = {
+                new: patterns[old]
+                for new, old in zip(rebuilt.pi_names, reference.pi_names)
+            }
+            assert list(rebuilt.simulate_words(packed).values()) == list(
+                reference.simulate_words(patterns).values()
+            )
+        finally:
+            unregister_benchmark("user-circuit")
+        with pytest.raises(KeyError):
+            benchmark_by_name("user-circuit")
+
+    def test_builtin_name_collision_rejected(self, blif_file):
+        from repro.bench import register_blif_benchmark
+
+        with pytest.raises(ValueError):
+            register_blif_benchmark(blif_file, name="add-16")
+
+    def test_duplicate_registration_needs_replace(self, blif_file):
+        from repro.bench import register_blif_benchmark, unregister_benchmark
+
+        try:
+            register_blif_benchmark(blif_file, name="dup")
+            with pytest.raises(ValueError):
+                register_blif_benchmark(blif_file, name="dup")
+            register_blif_benchmark(blif_file, name="dup", replace=True)
+        finally:
+            unregister_benchmark("dup")
+
+    def test_malformed_file_fails_at_registration(self, tmp_path):
+        from repro.bench import register_blif_benchmark
+        from repro.synthesis.blif import BlifParseError
+
+        bad = tmp_path / "bad.blif"
+        bad.write_text(".model broken\n.subckt foo a=b\n.end\n")
+        with pytest.raises(BlifParseError):
+            register_blif_benchmark(bad)
+
+    def test_registered_benchmark_flows_through_the_engine(self, blif_file):
+        from repro.bench import register_blif_benchmark, unregister_benchmark
+        from repro.core.families import LogicFamily
+        from repro.experiments.engine import ExperimentEngine
+
+        try:
+            register_blif_benchmark(blif_file, name="engine-extra")
+            engine = ExperimentEngine(jobs=1, use_cache=False)
+            result = engine.run_table3(
+                benchmark_names=("engine-extra",),
+                families=(LogicFamily.TG_STATIC,),
+            )
+            (row,) = result.rows
+            assert row.name == "engine-extra"
+            assert row.paper is None
+            assert row.results[LogicFamily.TG_STATIC].gates > 0
+        finally:
+            unregister_benchmark("engine-extra")

@@ -59,6 +59,24 @@ class TestFingerprints:
         }
         assert len(keys) == 4
 
+    def test_recovered_jobs_cached_separately_and_replayed(self, tmp_path):
+        jobs = [
+            MapJob("add-16", LogicFamily.TG_STATIC, rounds=0),
+            MapJob("add-16", LogicFamily.TG_STATIC, rounds=2),
+        ]
+        first = ExperimentEngine(cache_dir=tmp_path).run_map_jobs(jobs)
+        again = ExperimentEngine(cache_dir=tmp_path).run_map_jobs(jobs)
+        round0, recovered = jobs
+        assert not first[round0].cached and again[round0].cached
+        assert not first[recovered].cached and again[recovered].cached
+        assert first[recovered].stats == again[recovered].stats
+        # Recovery never worsens the delay-objective circuit.
+        assert first[recovered].stats.area <= first[round0].stats.area + 1e-9
+        assert (
+            first[recovered].stats.normalized_delay
+            <= first[round0].stats.normalized_delay + 1e-9
+        )
+
     def test_job_keys_separate_by_flow(self, tmp_path):
         engine = ExperimentEngine(cache_dir=tmp_path)
         keys = {

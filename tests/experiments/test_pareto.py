@@ -94,6 +94,63 @@ class TestRunPareto:
             run_pareto(benchmark_names=("nope",))
 
 
+class TestRecoveryVariants:
+    """With rounds > 0 the sweep gains recovered points alongside round 0."""
+
+    @pytest.fixture(scope="class")
+    def recovered(self):
+        return run_pareto(
+            benchmark_names=SUBSET,
+            families=(LogicFamily.TG_STATIC, LogicFamily.CMOS),
+            objectives=("delay", "area"),
+            engine=ExperimentEngine(jobs=1, use_cache=False),
+            rounds=2,
+        )
+
+    def test_round_variants_double_the_point_count(self, recovered):
+        row = recovered.row("add-16")
+        assert len(row.points) == 2 * 2 * 2  # families x objectives x rounds
+        assert {p.rounds for p in row.points} == {0, 2}
+        seen = {(p.family, p.objective, p.rounds) for p in row.points}
+        assert len(seen) == len(row.points)
+
+    def test_recovered_points_never_dominated_by_their_round0(self, recovered):
+        row = recovered.row("add-16")
+        by_key = {(p.family, p.objective, p.rounds): p for p in row.points}
+        for (family, objective, rounds), point in by_key.items():
+            if rounds == 0:
+                continue
+            base = by_key[(family, objective, 0)]
+            # Recovery never worsens delay and never worsens area.
+            assert point.absolute_delay_ps <= base.absolute_delay_ps + 1e-9
+            assert point.area <= base.area + 1e-9
+
+    def test_payload_records_recovery_metadata(self, recovered):
+        payload = pareto_payload(recovered)
+        assert payload["map_rounds"] == 2
+        assert payload["map_recovery"] == "auto"
+        tagged = [
+            p
+            for row in payload["rows"]
+            for p in row["points"]
+            if p.get("rounds")
+        ]
+        assert tagged and all(p["rounds"] == 2 for p in tagged)
+
+    def test_round0_payload_has_no_recovery_keys(self):
+        result = run_pareto(
+            benchmark_names=SUBSET,
+            families=(LogicFamily.TG_STATIC,),
+            objectives=("delay",),
+            engine=ExperimentEngine(jobs=1, use_cache=False),
+        )
+        payload = pareto_payload(result)
+        assert "map_rounds" not in payload and "map_recovery" not in payload
+        assert all(
+            "rounds" not in p for row in payload["rows"] for p in row["points"]
+        )
+
+
 class TestDeterminism:
     def test_jobs4_front_bit_identical_to_jobs1(self):
         kwargs = dict(benchmark_names=SUBSET, families=FAMILIES)
@@ -132,8 +189,12 @@ class TestDeterminism:
             engine.map_job_key(
                 MapJob("add-16", LogicFamily.TG_STATIC, power_seed=1)
             ),
+            engine.map_job_key(MapJob("add-16", LogicFamily.TG_STATIC, rounds=2)),
+            engine.map_job_key(
+                MapJob("add-16", LogicFamily.TG_STATIC, rounds=2, recovery="power")
+            ),
         }
-        assert len(keys) == 5
+        assert len(keys) == 7
 
 
 class TestRunnerCli:

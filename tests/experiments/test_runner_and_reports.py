@@ -94,6 +94,65 @@ class TestRunnerCli:
         with pytest.raises(KeyError):
             main(["--flow", "warp-speed", "--no-cache"])
 
+    def test_map_rounds_recorded_and_never_worse(self, capsys, tmp_path):
+        base = tmp_path / "base"
+        recovered = tmp_path / "recovered"
+        assert main(["add-16", "t481", "--no-cache", "--json", str(base)]) == 0
+        assert (
+            main(
+                ["add-16", "t481", "--no-cache", "--map-rounds", "2",
+                 "--json", str(recovered)]
+            )
+            == 0
+        )
+        captured = capsys.readouterr().out
+        assert "recovery: 2 round(s) of auto" in captured
+        round0 = json.loads((base / "table3.json").read_text())
+        round2 = json.loads((recovered / "table3.json").read_text())
+        assert "map_rounds" not in round0
+        assert round2["map_rounds"] == 2 and round2["map_recovery"] == "auto"
+        for row0, row2 in zip(round0["rows"], round2["rows"]):
+            for family, stats0 in row0["results"].items():
+                stats2 = row2["results"][family]
+                assert stats2["area"] <= stats0["area"] + 1e-9
+                assert (
+                    stats2["normalized_delay"]
+                    <= stats0["normalized_delay"] + 1e-9
+                )
+
+    def test_negative_map_rounds_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--map-rounds", "-1", "--no-cache"])
+
+    def test_extra_benchmark_flows_through_the_runner(self, capsys, tmp_path):
+        from repro.bench.registry import benchmark_by_name, unregister_benchmark
+        from repro.synthesis.blif import write_blif
+
+        blif = tmp_path / "userckt.blif"
+        blif.write_text(write_blif(benchmark_by_name("add-16").build()))
+        artifacts = tmp_path / "artifacts"
+        try:
+            exit_code = main(
+                ["userckt", "--no-cache", "--extra-benchmark", str(blif),
+                 "--json", str(artifacts)]
+            )
+        finally:
+            unregister_benchmark("userckt")
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "[extra benchmarks: userckt]" in captured
+        payload = json.loads((artifacts / "table3.json").read_text())
+        assert [row["name"] for row in payload["rows"]] == ["userckt"]
+        # No paper row: the Figure-6 series must simply skip the circuit.
+        figure6 = json.loads((artifacts / "figure6.json").read_text())
+        assert "userckt" not in figure6["series"]
+
+    def test_extra_benchmark_rejects_malformed_blif(self, tmp_path):
+        bad = tmp_path / "bad.blif"
+        bad.write_text(".model broken\n.latch a b\n.end\n")
+        with pytest.raises(SystemExit):
+            main(["--extra-benchmark", str(bad), "--no-cache"])
+
 
 class TestReportDetails:
     def test_per_cell_rendering_includes_paper_columns(self):

@@ -77,6 +77,51 @@ class TestBlifReader:
             read_blif(".model x\n.inputs a b\n.outputs y\n.names a b y\n1 1 1\n.end")
 
 
+class TestConstantCovers:
+    """Constant ``.names`` drivers in every form tools emit them."""
+
+    def test_omitted_cube_under_declared_fanins(self):
+        # Some tools write a constant driver as a bare output-value row even
+        # when the .names declares fanins (all inputs don't-care).
+        text = ".model m\n.inputs a b\n.outputs y z\n.names a b y\n1\n.names a b z\n0\n.end\n"
+        aig = read_blif(text)
+        for a in (False, True):
+            for b in (False, True):
+                out = aig.evaluate({"a": a, "b": b})
+                assert out["y"] is True and out["z"] is False
+
+    def test_constant_feeding_logic(self):
+        text = (
+            ".model m\n.inputs a\n.outputs y\n.names c\n1\n"
+            ".names a c y\n11 1\n.end\n"
+        )
+        aig = read_blif(text)
+        assert aig.evaluate({"a": True})["y"] is True
+        assert aig.evaluate({"a": False})["y"] is False
+
+    def test_zero_input_empty_cover_is_constant_zero(self):
+        aig = read_blif(".model m\n.outputs y\n.names y\n.end\n")
+        assert aig.evaluate({})["y"] is False
+
+    def test_bare_value_mixed_with_cube_rows_still_rejected(self):
+        # A bare value row next to real cubes is a cube whose output column
+        # was dropped, not a constant driver.
+        with pytest.raises(BlifParseError):
+            read_blif(
+                ".model m\n.inputs a b\n.outputs y\n"
+                ".names a b y\n11 1\n10\n.end\n"
+            )
+
+
+def _roundtrip_equivalent(name: str) -> bool:
+    from repro.bench.registry import benchmark_by_name
+
+    original = benchmark_by_name(name).build()
+    rebuilt = read_blif(write_blif(original), name=name)
+    patterns = random_pattern_words(original.pi_names, num_words=2, seed=3)
+    return original.simulate_words(patterns) == rebuilt.simulate_words(patterns)
+
+
 class TestBlifRoundTrip:
     def test_write_then_read_is_equivalent(self):
         builder = CircuitBuilder("rt")
@@ -90,6 +135,19 @@ class TestBlifRoundTrip:
         rebuilt = read_blif(write_blif(original))
         patterns = random_pattern_words(original.pi_names, num_words=4)
         assert original.simulate_words(patterns) == rebuilt.simulate_words(patterns)
+
+    @pytest.mark.parametrize(
+        "name", ("add-16", "add-32", "t481", "C1908", "C1355", "dalu")
+    )
+    def test_registered_benchmark_roundtrip(self, name):
+        assert _roundtrip_equivalent(name)
+
+    @pytest.mark.slow
+    def test_all_registered_benchmarks_roundtrip(self):
+        from repro.bench.registry import all_benchmarks
+
+        for case in all_benchmarks():
+            assert _roundtrip_equivalent(case.name), case.name
 
 
 class TestCircuitBuilder:
