@@ -3,12 +3,21 @@
 Used by the nightly CI job to catch mapping-time regressions: the flow
 benchmark export (``flow_bench.json``) is compared benchmark-by-benchmark
 against ``benchmarks/baselines/flow_bench_baseline.json`` and the check fails
-when any mean time regresses by more than ``--max-regression`` (default 30%,
-generous because CI machines vary).  Benchmarks present on only one side are
+when any **median** time regresses by more than ``--max-regression`` (default
+30%, generous because CI machines vary).  Medians, not means: nightly runs
+have shown >2x outlier spread on shared runners (a single descheduled round
+drags the mean far above the typical run), and the median of N rounds is
+stable against exactly that.  Benchmarks present on only one side are
 reported but never fail the check, so adding or renaming benchmarks does not
 require touching the baseline in the same change.
 
-Refresh the baseline from a trusted run with::
+Baseline entries record the run variance alongside the decision statistic::
+
+    {"<benchmark fullname>": {"median": s, "stddev": s, "rounds": n}, ...}
+
+Legacy flat baselines (``{name: seconds}``) are still accepted (the float is
+read as the median with unknown variance).  Refresh the baseline from a
+trusted run with::
 
     python benchmarks/check_perf_regression.py new_run.json \
         benchmarks/baselines/flow_bench_baseline.json --write-baseline
@@ -25,17 +34,36 @@ import sys
 from pathlib import Path
 
 
-def load_means(path: Path) -> dict[str, float]:
-    """Benchmark-name -> mean seconds, from either export or baseline format."""
+def load_stats(path: Path) -> dict[str, dict]:
+    """Benchmark-name -> ``{"median", "stddev", "rounds"}`` from either format.
+
+    Accepts a pytest-benchmark export, the structured baseline format, or a
+    legacy flat ``{name: mean_seconds}`` baseline (median := the stored
+    float, variance unknown).
+    """
     with open(path, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
     if isinstance(payload, dict) and "benchmarks" in payload:
         return {
-            entry["fullname"]: float(entry["stats"]["mean"])
+            entry["fullname"]: {
+                "median": float(entry["stats"]["median"]),
+                "stddev": float(entry["stats"]["stddev"]),
+                "rounds": int(entry["stats"]["rounds"]),
+            }
             for entry in payload["benchmarks"]
         }
     if isinstance(payload, dict):
-        return {name: float(mean) for name, mean in payload.items()}
+        stats: dict[str, dict] = {}
+        for name, entry in payload.items():
+            if isinstance(entry, dict):
+                stats[name] = {
+                    "median": float(entry["median"]),
+                    "stddev": float(entry.get("stddev", 0.0)),
+                    "rounds": int(entry.get("rounds", 0)),
+                }
+            else:
+                stats[name] = {"median": float(entry), "stddev": 0.0, "rounds": 0}
+        return stats
     raise ValueError(f"{path} is neither a pytest-benchmark export nor a baseline")
 
 
@@ -48,7 +76,7 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=0.30,
         metavar="FRACTION",
-        help="allowed slowdown per benchmark (default: 0.30 = 30%%)",
+        help="allowed median slowdown per benchmark (default: 0.30 = 30%%)",
     )
     parser.add_argument(
         "--write-baseline",
@@ -57,7 +85,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    current = load_means(args.current)
+    current = load_stats(args.current)
     if args.write_baseline:
         args.baseline.parent.mkdir(parents=True, exist_ok=True)
         with open(args.baseline, "w", encoding="utf-8") as handle:
@@ -66,19 +94,26 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote baseline ({len(current)} benchmarks) to {args.baseline}")
         return 0
 
-    baseline = load_means(args.baseline)
+    baseline = load_stats(args.baseline)
     regressions: list[str] = []
     for name in sorted(current):
-        mean = current[name]
+        stats = current[name]
+        median = stats["median"]
+        spread = (
+            f", stddev {stats['stddev'] * 1000:.1f} ms over {stats['rounds']} rounds"
+            if stats["rounds"]
+            else ""
+        )
         reference = baseline.get(name)
         if reference is None:
-            print(f"[new]      {name}: {mean * 1000:.1f} ms (no baseline entry)")
+            print(f"[new]      {name}: median {median * 1000:.1f} ms{spread}")
             continue
-        ratio = mean / reference if reference > 0 else float("inf")
+        ref_median = reference["median"]
+        ratio = median / ref_median if ref_median > 0 else float("inf")
         marker = "ok" if ratio <= 1.0 + args.max_regression else "REGRESSION"
         print(
-            f"[{marker:>10}] {name}: {mean * 1000:.1f} ms "
-            f"vs baseline {reference * 1000:.1f} ms ({ratio:.2f}x)"
+            f"[{marker:>10}] {name}: median {median * 1000:.1f} ms "
+            f"vs baseline {ref_median * 1000:.1f} ms ({ratio:.2f}x{spread})"
         )
         if marker == "REGRESSION":
             regressions.append(name)

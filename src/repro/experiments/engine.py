@@ -58,9 +58,17 @@ from repro.experiments.table3 import (
     _paper_row,
 )
 from repro import profiling
+from repro.experiments import shm
 from repro.flow import DEFAULT_FLOW, get_flow, resolve_flow, run_flow
 from repro.synthesis.aig import Aig
-from repro.synthesis.cuts import DEFAULT_CUT_LIMIT, DEFAULT_MAX_INPUTS, clear_cut_caches
+from repro.synthesis.aig_array import aig_arrays
+from repro.synthesis.cuts import (
+    DEFAULT_CUT_LIMIT,
+    DEFAULT_MAX_INPUTS,
+    clear_cut_caches,
+    cut_cache_sizes,
+    cut_set_for,
+)
 from repro.synthesis.mapper import technology_map, verify_mapping
 from repro.synthesis.matcher import matcher_for
 
@@ -271,6 +279,45 @@ _OPTIMIZED_AIGS: dict[tuple[str, str], Aig] = {}
 # benchmark share a single propagation.
 _ACTIVITY_REPORTS: dict[tuple[str, str, int, int], object] = {}
 
+# Cache-epoch protocol (worker-side memo hygiene).  The parent bumps
+# _CACHE_EPOCH once per run_map_jobs batch and stamps it on every shipped
+# job; a pool worker whose _WORKER_EPOCH disagrees drops its per-process
+# memos before running the job.  Freshly forked workers are stamped by the
+# pool initializer, so within one batch the inherited warm caches (prewarmed
+# matchers, published subjects) survive -- only a worker *reused across
+# batches* resets, which is exactly the unbounded-growth case the parent's
+# own ``finally`` cleanup never reached.  _WORKER_EPOCH stays ``None`` in
+# the parent: in-process job execution (jobs=1, pool-failure fallback) must
+# not clear the parent memos mid-run.
+_CACHE_EPOCH = 0
+_WORKER_EPOCH: int | None = None
+
+
+def _reset_worker_state(epoch: int) -> None:
+    """Drop per-process memos grown under a previous cache epoch."""
+    global _WORKER_EPOCH
+    _OPTIMIZED_AIGS.clear()
+    _ACTIVITY_REPORTS.clear()
+    clear_cut_caches()
+    shm.drop_attachments()
+    _WORKER_EPOCH = epoch
+
+
+def _pool_initializer(epoch: int) -> None:
+    """Stamp a fresh pool worker with the batch's cache epoch."""
+    global _WORKER_EPOCH
+    _WORKER_EPOCH = epoch
+
+
+def _worker_cache_footprint() -> dict[str, int]:
+    """Sizes of every per-process memo (cache-boundedness diagnostics)."""
+    return {
+        "optimized_aigs": len(_OPTIMIZED_AIGS),
+        "activity_reports": len(_ACTIVITY_REPORTS),
+        "cut_cache_entries": sum(cut_cache_sizes().values()),
+        "shm_attachments": shm.attachment_count(),
+    }
+
 
 def _subject_aig(benchmark: str, flow: str) -> Aig:
     key = (benchmark, flow)
@@ -303,8 +350,17 @@ def _subject_aig(benchmark: str, flow: str) -> Aig:
     return cached
 
 
-def _run_map_job(spec: tuple) -> dict:
-    """Execute one mapping job (worker-side; must stay picklable/pure)."""
+def _run_map_job(transport: tuple) -> dict:
+    """Execute one mapping job (worker-side; must stay picklable/pure).
+
+    ``transport`` is ``(spec, epoch, subject_handle_or_None)``: the job spec
+    proper, the batch's cache epoch (see :func:`_reset_worker_state`) and,
+    when the parent published the optimized subject, the shared-memory
+    handle that lets this process skip the flow and cut enumeration.
+    """
+    spec, epoch, handle = transport
+    if _WORKER_EPOCH is not None and _WORKER_EPOCH != epoch:
+        _reset_worker_state(epoch)
     (
         benchmark,
         family_value,
@@ -318,6 +374,11 @@ def _run_map_job(spec: tuple) -> dict:
         recovery,
     ) = spec
     family = LogicFamily(family_value)
+    if handle is not None and (benchmark, flow) not in _OPTIMIZED_AIGS:
+        try:
+            _OPTIMIZED_AIGS[(benchmark, flow)] = shm.resolve_subject(handle)
+        except (OSError, ValueError):
+            pass  # unreadable segment: recompute the subject from the spec
     aig = _subject_aig(benchmark, flow)
     library = build_library(family)
     activity_key = (benchmark, flow, power_vectors, power_seed)
@@ -395,17 +456,29 @@ class ExperimentEngine:
 
     # -- generic job scheduling ---------------------------------------------
 
-    def _execute(self, worker, specs: list[tuple], chunksize: int = 1) -> list[dict]:
+    def _execute(
+        self,
+        worker,
+        specs: list[tuple],
+        chunksize: int = 1,
+        initializer: Callable | None = None,
+        initargs: tuple = (),
+    ) -> list[dict]:
         """Run job specs through ``worker``, in processes when possible.
 
         Falls back to the deterministic in-process path only when the pool
         itself cannot be created or breaks (fork failure, dead workers);
         exceptions raised *by* a job propagate unchanged so real flow
-        errors are not silently retried.
+        errors are not silently retried.  ``initializer``/``initargs`` are
+        handed to the pool (and never run on the in-process path).
         """
         if self.jobs > 1 and len(specs) > 1:
             try:
-                with ProcessPoolExecutor(max_workers=min(self.jobs, len(specs))) as pool:
+                with ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(specs)),
+                    initializer=initializer,
+                    initargs=initargs,
+                ) as pool:
                     return list(pool.map(worker, specs, chunksize=chunksize))
             except (OSError, BrokenExecutor):
                 pass  # fall back to the in-process path
@@ -418,13 +491,19 @@ class ExperimentEngine:
         keys: dict,
         chunksize: int = 1,
         prepare_parallel: Callable[[list], None] | None = None,
+        transport: Callable[[object], tuple] | None = None,
+        initializer: Callable | None = None,
+        initargs: tuple = (),
     ) -> dict:
         """Cache-aware scheduling shared by map and characterization jobs.
 
         ``prepare_parallel`` runs in the parent just before a process pool
         would be forked (i.e. only when there are cache misses to execute
         in parallel), so expensive shared state can be built once and
-        inherited by the workers.
+        inherited by the workers.  ``transport`` turns a pending job into
+        the picklable payload handed to ``worker`` (default: the job's
+        ``spec()``); it runs after ``prepare_parallel`` so it can embed
+        handles to state published there.
         """
         results: dict = {}
         pending = []
@@ -438,7 +517,11 @@ class ExperimentEngine:
             if prepare_parallel is not None and self.jobs > 1 and len(pending) > 1:
                 prepare_parallel(pending)
             payloads = self._execute(
-                worker, [job.spec() for job in pending], chunksize=chunksize
+                worker,
+                [transport(job) if transport else job.spec() for job in pending],
+                chunksize=chunksize,
+                initializer=initializer,
+                initargs=initargs,
             )
             for job, payload in zip(pending, payloads):
                 if self.cache is not None:
@@ -474,18 +557,50 @@ class ExperimentEngine:
 
     def run_map_jobs(self, jobs: Sequence[MapJob]) -> dict[MapJob, MapJobResult]:
         """Run mapping jobs (cache first, then processes) and decode results."""
+        global _CACHE_EPOCH
         subject_aigs: dict[str, Aig] = {}
         keys: dict[MapJob, str] = {}
         for job in jobs:
             if job.benchmark not in subject_aigs:
                 subject_aigs[job.benchmark] = benchmark_by_name(job.benchmark).build()
             keys[job] = self.map_job_key(job, subject_aigs[job.benchmark])
-        def prewarm_matchers(pending: list) -> None:
+        _CACHE_EPOCH += 1
+        epoch = _CACHE_EPOCH
+        handles: dict[tuple[str, str, int, int], shm.SubjectHandle] = {}
+
+        def subject_of(job: MapJob) -> tuple[str, str, int, int]:
+            return (job.benchmark, job.flow, job.max_inputs, job.cut_limit)
+
+        def prepare_parallel(pending: list) -> None:
             # Build every required library matcher before the pool forks so
             # worker processes inherit the warm caches instead of each paying
             # the (expensive) matcher construction on their own.
             for family in {job.family for job in pending}:
                 matcher_for(build_library(family))
+            # Publish each distinct optimized subject (flow output plus
+            # enumerated cuts) into shared memory once, keyed by its
+            # content-addressed structure hash, so every worker maps the
+            # same buffers instead of re-running the flow per process.
+            for benchmark, flow, max_inputs, cut_limit in sorted(
+                {subject_of(job) for job in pending}
+            ):
+                try:
+                    aig = _subject_aig(benchmark, flow)
+                    handles[(benchmark, flow, max_inputs, cut_limit)] = (
+                        shm.publish_subject(
+                            f"{aig_fingerprint(aig)}:{max_inputs}:{cut_limit}",
+                            aig,
+                            aig_arrays(aig),
+                            cut_set_for(aig, max_inputs, cut_limit),
+                        )
+                    )
+                except OSError:
+                    # No usable shared memory on this platform/filesystem:
+                    # ship the bare spec and let workers recompute.
+                    continue
+
+        def transport(job: MapJob) -> tuple:
+            return (job.spec(), epoch, handles.get(subject_of(job)))
 
         # Keep the family jobs of one benchmark in the same worker chunk so
         # its per-process memo of the optimized AIG is reused across them.
@@ -498,9 +613,13 @@ class ExperimentEngine:
                 list(jobs),
                 keys,
                 chunksize=families_per_benchmark,
-                prepare_parallel=prewarm_matchers,
+                prepare_parallel=prepare_parallel,
+                transport=transport,
+                initializer=_pool_initializer,
+                initargs=(epoch,),
             )
         finally:
+            shm.release_subjects()
             # Bound per-process memory across repeated large-benchmark runs:
             # the scalar table and matcher caches regrow cheaply, and the
             # cut-set memos (the largest per-run allocations) are stripped

@@ -1,0 +1,303 @@
+"""Shared-memory transport of mapping subjects to pool workers.
+
+A Table-3 run maps the same optimized AIG under several libraries and
+objectives.  The flow output and the enumerated cuts are pure functions of
+the subject, so the parent can compute them once and *publish* the flat
+numpy buffers -- the :class:`~repro.synthesis.aig_array.AigArrays` fanin /
+level / output arrays plus the :class:`~repro.synthesis.cuts.CutSet`
+struct-of-arrays -- into one ``multiprocessing.shared_memory`` segment per
+subject.  Workers then *resolve* a tiny picklable :class:`SubjectHandle`
+(names, dtypes, offsets) back into a fully usable ``Aig`` with its array
+view and cut memos pre-installed, instead of re-running the optimization
+flow and cut enumeration per process.
+
+Subjects are keyed by the content-addressed structure hash of the optimized
+AIG (:func:`repro.experiments.engine.aig_fingerprint`) plus the enumeration
+parameters, so a handle can never resolve against a stale segment of a
+different structure.  Resolution prefers process-local state: the
+publishing process answers straight from :data:`_LOCAL` (this is the
+pickle-free single-process path and the pool-failure fallback), and a
+worker re-attaches each segment at most once per epoch via
+:data:`_ATTACHED`.  Attached arrays stay zero-copy views of the shared
+segment (marked read-only); the segment itself is kept alive by the
+registry entry and dropped by :func:`drop_attachments` when the worker's
+cache epoch rolls over.
+
+The publisher owns the segment lifetime: :func:`release_subjects` unlinks
+every published segment once the batch's pool has drained.  Platforms
+without usable POSIX shared memory simply raise ``OSError`` from
+:func:`publish_subject`; the engine then falls back to shipping bare job
+specs (workers recompute the subject, exactly the pre-transport behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.synthesis.aig import Aig, _Node
+from repro.synthesis.aig_array import AigArrays, arrays_from_parts
+from repro.synthesis.cuts import CutSet
+
+#: Byte alignment of every array inside a segment (covers all shipped dtypes).
+_ALIGN = 16
+
+
+@dataclass(frozen=True)
+class SubjectHandle:
+    """Picklable description of one published subject.
+
+    ``segments`` lists ``(field, dtype, shape, offset)`` for every array in
+    the shared segment; everything else is the scalar metadata needed to
+    rebuild the ``Aig`` facade (names) and to key the cut memo.
+    """
+
+    key: str
+    shm_name: str
+    aig_name: str
+    pi_names: tuple[str, ...]
+    po_names: tuple[str, ...]
+    max_inputs: int
+    cut_limit: int
+    segments: tuple[tuple[str, str, tuple[int, ...], int], ...]
+
+
+# Publisher-side registries: the live SharedMemory objects (so the segments
+# can be unlinked) and the original subjects (so the publishing process
+# resolves its own handles without any copying or attaching).
+_PUBLISHED: dict[str, shared_memory.SharedMemory] = {}
+_LOCAL: dict[str, Aig] = {}
+
+# Worker-side registry: one attachment per subject key, holding the segment
+# open for as long as the rebuilt AIG's views may be alive.
+_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, Aig]] = {}
+
+
+def _subject_arrays(arrays: AigArrays, cut_set: CutSet) -> list[tuple[str, np.ndarray]]:
+    """The shipped buffers, in segment order.
+
+    ``fanout`` / ``is_and`` / ``and_nodes`` / ``level_groups`` are all
+    derivable from the fanins and outputs (see
+    :func:`repro.synthesis.aig_array.arrays_from_parts`), so only the
+    irreducible arrays travel.
+    """
+    return [
+        ("fanin0", arrays.fanin0),
+        ("fanin1", arrays.fanin1),
+        ("level", arrays.level),
+        ("po_literals", arrays.po_literals),
+        ("cut_count", cut_set.count),
+        ("cut_leaves", cut_set.leaves),
+        ("cut_size", cut_set.size),
+        ("cut_table", cut_set.table),
+        ("cut_support", cut_set.support),
+    ]
+
+
+def publish_subject(
+    key: str, aig: Aig, arrays: AigArrays, cut_set: CutSet
+) -> SubjectHandle:
+    """Copy a subject's arrays into a shared segment and return its handle.
+
+    Idempotent per ``key`` (the content hash makes equal keys equal
+    payloads).  Raises ``OSError`` when shared memory is unavailable;
+    callers are expected to fall back to spec-only transport.
+    """
+    existing = _PUBLISHED.get(key)
+    if existing is not None:
+        _LOCAL.setdefault(key, aig)
+        return _LOCAL_HANDLES[key]
+
+    payload = _subject_arrays(arrays, cut_set)
+    offsets: list[int] = []
+    total = 0
+    for _field, array in payload:
+        total = -(-total // _ALIGN) * _ALIGN
+        offsets.append(total)
+        total += array.nbytes
+    segment = shared_memory.SharedMemory(create=True, size=max(total, 1))
+    try:
+        segments = []
+        for (field, array), offset in zip(payload, offsets):
+            flat = np.ascontiguousarray(array)
+            view = np.frombuffer(
+                segment.buf, dtype=flat.dtype, count=flat.size, offset=offset
+            )
+            view[:] = flat.reshape(-1)
+            segments.append((field, flat.dtype.str, tuple(array.shape), offset))
+        handle = SubjectHandle(
+            key=key,
+            shm_name=segment.name,
+            aig_name=aig.name,
+            pi_names=aig.pi_names,
+            po_names=aig.po_names,
+            max_inputs=cut_set.max_inputs,
+            cut_limit=cut_set.cut_limit,
+            segments=tuple(segments),
+        )
+    except BaseException:
+        segment.close()
+        segment.unlink()
+        raise
+    _PUBLISHED[key] = segment
+    _LOCAL[key] = aig
+    _LOCAL_HANDLES[key] = handle
+    return handle
+
+
+#: Handles of the published subjects (publisher side), for idempotent reuse.
+_LOCAL_HANDLES: dict[str, SubjectHandle] = {}
+
+
+def _attach_views(handle: SubjectHandle) -> tuple[shared_memory.SharedMemory, dict]:
+    segment = shared_memory.SharedMemory(name=handle.shm_name)
+    # Attaching registers the segment with this process's resource tracker
+    # (CPython <= 3.12), which would unlink it when *this* process exits even
+    # though the publisher owns the lifetime; undo the registration.  Skip
+    # the undo when this process *is* the publisher (the tracker cache is a
+    # set, so the attach registration collapsed into the create one and the
+    # publisher's unlink still needs it).
+    if handle.key not in _PUBLISHED:
+        try:  # pragma: no cover - tracker layout is an implementation detail
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:
+            pass
+    views: dict[str, np.ndarray] = {}
+    for field, dtype, shape, offset in handle.segments:
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        view = np.frombuffer(
+            segment.buf, dtype=np.dtype(dtype), count=count, offset=offset
+        ).reshape(shape)
+        view.flags.writeable = False
+        views[field] = view
+    return segment, views
+
+
+def _rebuild_aig(
+    handle: SubjectHandle,
+    fanin0: np.ndarray,
+    fanin1: np.ndarray,
+    level: np.ndarray,
+    po_literals: np.ndarray,
+) -> Aig:
+    """Reconstruct the ``Aig`` facade around the shipped arrays.
+
+    Node ids, fanin literal order (``and_gate`` stores them canonically
+    sorted) and levels are taken verbatim, so the rebuilt graph is
+    structurally identical to the published one -- same fingerprint, same
+    cut sets, same mapping -- without re-running structural hashing.
+    """
+    aig = Aig(handle.aig_name)
+    nodes = aig._nodes
+    strash = aig._strash
+    f0 = fanin0.tolist()
+    f1 = fanin1.tolist()
+    levels = level.tolist()
+    pi_iterator = iter(handle.pi_names)
+    for node in range(1, len(f0)):
+        low = f0[node]
+        if low < 0:
+            nodes.append(_Node(-1, -1, 0))
+            aig._pi_names.append(next(pi_iterator))
+            aig._pi_nodes.append(node)
+        else:
+            high = f1[node]
+            nodes.append(_Node(low, high, levels[node]))
+            strash[(low, high)] = node
+    for name, literal in zip(handle.po_names, po_literals.tolist()):
+        aig._po_names.append(name)
+        aig._po_literals.append(int(literal))
+    return aig
+
+
+def resolve_subject(handle: SubjectHandle) -> Aig:
+    """An ``Aig`` (with array view and cut memos installed) for a handle.
+
+    Resolution order: the publisher's own subject (:data:`_LOCAL`), a
+    previous attachment (:data:`_ATTACHED`), then a fresh shared-memory
+    attach.  Raises ``OSError`` when the segment cannot be opened (callers
+    fall back to recomputing from the job spec).
+    """
+    local = _LOCAL.get(handle.key)
+    if local is not None:
+        return local
+    attached = _ATTACHED.get(handle.key)
+    if attached is not None:
+        return attached[1]
+
+    segment, views = _attach_views(handle)
+    aig = _rebuild_aig(
+        handle, views["fanin0"], views["fanin1"], views["level"], views["po_literals"]
+    )
+    arrays = arrays_from_parts(
+        views["fanin0"], views["fanin1"], views["level"], views["po_literals"]
+    )
+    cut_set = CutSet(
+        max_inputs=handle.max_inputs,
+        cut_limit=handle.cut_limit,
+        count=views["cut_count"],
+        leaves=views["cut_leaves"],
+        size=views["cut_size"],
+        table=views["cut_table"],
+        support=views["cut_support"],
+    )
+    structure = (aig.num_nodes, aig.num_pos)
+    aig.__dict__["_array_view"] = (structure, arrays)
+    aig.__dict__["_cut_sets"] = (
+        structure,
+        {(handle.max_inputs, handle.cut_limit): cut_set},
+    )
+    _ATTACHED[handle.key] = (segment, aig)
+    return aig
+
+
+def release_subjects() -> None:
+    """Publisher-side cleanup: unlink every published segment."""
+    for segment in _PUBLISHED.values():
+        try:
+            segment.close()
+            segment.unlink()
+        except OSError:  # pragma: no cover - already gone
+            pass
+    _PUBLISHED.clear()
+    _LOCAL.clear()
+    _LOCAL_HANDLES.clear()
+
+
+#: Segments whose close failed because numpy views were still referenced;
+#: retried on the next :func:`drop_attachments` (keeping the object alive
+#: avoids the noisy ``BufferError`` from ``SharedMemory.__del__``).
+_ZOMBIES: list[shared_memory.SharedMemory] = []
+
+
+def drop_attachments() -> None:
+    """Worker-side cleanup: close every attached segment.
+
+    Called when the worker's cache epoch rolls over.  The registry's AIG
+    references are dropped *before* closing so the zero-copy views they pin
+    are freed first; a segment whose views are still referenced elsewhere
+    is parked and re-tried on the next call rather than leaked or closed
+    out from under a live array.
+    """
+    pending = _ZOMBIES + [segment for segment, _aig in _ATTACHED.values()]
+    _ZOMBIES.clear()
+    _ATTACHED.clear()
+    for segment in pending:
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - external views still alive
+            _ZOMBIES.append(segment)
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+
+def attachment_count() -> int:
+    """Number of live worker-side attachments (cache-bound diagnostics)."""
+    return len(_ATTACHED)
+
+
+def published_count() -> int:
+    """Number of live publisher-side segments."""
+    return len(_PUBLISHED)

@@ -24,6 +24,18 @@ Comparisons keep the historical ``1e-9`` epsilons so the selected cells --
 and therefore every downstream artifact -- stay bit-identical to the
 pre-refactor single-pass mapper.
 
+The built-in models additionally implement the vectorized hooks
+:meth:`~CostModel.price_batch` / :meth:`~CostModel.better_batch` consumed by
+the batched DP of :mod:`repro.synthesis.mapper`: one numpy expression over a
+whole :class:`~repro.synthesis.mapper.CandidateTable` (or one candidate slot
+across all nodes of an AIG level) instead of one Python call per candidate.
+Both hooks are required to reproduce the scalar semantics *bitwise* --
+elementwise IEEE-754 operations in the same order as the scalar code, no
+reassociating reductions -- because the ``1e-9`` tie-breaks are not
+transitive: a reordered comparison sequence can select a different (equally
+"best") cell and change downstream artifacts.  Third-party models registered
+without the hooks simply keep the scalar DP path.
+
 Models are stateless singletons looked up by objective name
 (:func:`cost_model_for`); the per-mapping context (activities, resolved pin
 capacitances) travels in the :class:`MappingContext` handed to every
@@ -35,7 +47,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
 
+import numpy as np
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.synthesis.mapper import CandidateTable
     from repro.synthesis.matcher import CellMatch
 
 #: Comparison tolerance of the DP tie-breaks (historical value, load-bearing
@@ -106,6 +121,35 @@ class CostModel(Protocol):
         """Whether ``(arrival, flow)`` beats the incumbent ``(best_*)``."""
         ...  # pragma: no cover - protocol stub
 
+    def price_batch(
+        self, table: "CandidateTable", context: MappingContext
+    ) -> np.ndarray:
+        """Vectorized :meth:`gate_cost`: one float64 per candidate row.
+
+        Must return, for every row of the table, exactly the float
+        :meth:`gate_cost` would return for the equivalent
+        :class:`MatchCandidate` (same operations in the same order).  The
+        returned array may alias table storage and must not be mutated by
+        callers.  Optional: the mapper falls back to the scalar DP for
+        models that do not provide it.
+        """
+        ...  # pragma: no cover - protocol stub
+
+    def better_batch(
+        self,
+        arrival: np.ndarray,
+        flow: np.ndarray,
+        best_arrival: np.ndarray,
+        best_flow: np.ndarray,
+    ) -> np.ndarray:
+        """Elementwise :meth:`better` over candidate batches (bool array).
+
+        Optional, paired with :meth:`price_batch`; must apply the same
+        epsilon comparisons elementwise so the batched incumbent scan
+        reproduces the scalar scan decision-for-decision.
+        """
+        ...  # pragma: no cover - protocol stub
+
 
 class DelayCost:
     """Arrival-time primary cost (area flow breaks ties)."""
@@ -125,6 +169,23 @@ class DelayCost:
             abs(arrival - best_arrival) <= EPSILON and flow < best_flow - EPSILON
         )
 
+    def price_batch(
+        self, table: "CandidateTable", context: MappingContext
+    ) -> np.ndarray:
+        return table.area
+
+    def better_batch(
+        self,
+        arrival: np.ndarray,
+        flow: np.ndarray,
+        best_arrival: np.ndarray,
+        best_flow: np.ndarray,
+    ) -> np.ndarray:
+        return (arrival < best_arrival - EPSILON) | (
+            (np.abs(arrival - best_arrival) <= EPSILON)
+            & (flow < best_flow - EPSILON)
+        )
+
 
 class AreaFlowCost:
     """Area-flow primary cost (arrival time breaks ties)."""
@@ -142,6 +203,23 @@ class AreaFlowCost:
     ) -> bool:
         return flow < best_flow - EPSILON or (
             abs(flow - best_flow) <= EPSILON and arrival < best_arrival - EPSILON
+        )
+
+    def price_batch(
+        self, table: "CandidateTable", context: MappingContext
+    ) -> np.ndarray:
+        return table.area
+
+    def better_batch(
+        self,
+        arrival: np.ndarray,
+        flow: np.ndarray,
+        best_arrival: np.ndarray,
+        best_flow: np.ndarray,
+    ) -> np.ndarray:
+        return (flow < best_flow - EPSILON) | (
+            (np.abs(flow - best_flow) <= EPSILON)
+            & (arrival < best_arrival - EPSILON)
         )
 
 
@@ -188,6 +266,42 @@ class PowerFlowCost:
     ) -> bool:
         return flow < best_flow - EPSILON or (
             abs(flow - best_flow) <= EPSILON and arrival < best_arrival - EPSILON
+        )
+
+    def price_batch(
+        self, table: "CandidateTable", context: MappingContext
+    ) -> np.ndarray:
+        if context.activity is None or context.probability is None:
+            raise ValueError(
+                "the power cost model needs signal activities; pass "
+                "activities= to technology_map or compute them first"
+            )
+        activity = np.asarray(context.activity, dtype=np.float64)
+        probability = np.asarray(context.probability, dtype=np.float64)
+        switched, pin_caps, static_low, negated = table.power_columns(context)
+        nodes = table.node
+        cost = activity[nodes] * switched
+        # Column-by-column accumulation in leaf order: the scalar loop's
+        # addition sequence, extended by exact ``+ 0.0`` terms on the padded
+        # slots (padded leaves point at node 0, padded capacitances are 0).
+        leaves = table.leaves
+        for position in range(pin_caps.shape[1]):
+            cost = cost + activity[leaves[:, position]] * pin_caps[:, position]
+        probability_on = np.where(
+            negated, 1.0 - probability[nodes], probability[nodes]
+        )
+        return cost + static_low * probability_on
+
+    def better_batch(
+        self,
+        arrival: np.ndarray,
+        flow: np.ndarray,
+        best_arrival: np.ndarray,
+        best_flow: np.ndarray,
+    ) -> np.ndarray:
+        return (flow < best_flow - EPSILON) | (
+            (np.abs(flow - best_flow) <= EPSILON)
+            & (arrival < best_arrival - EPSILON)
         )
 
 

@@ -183,6 +183,27 @@ def clear_cut_caches() -> None:
         cached.cache_clear()
 
 
+def cut_cache_sizes() -> dict[str, int]:
+    """Current entry counts of the registered caches, by name.
+
+    Diagnostic counterpart of :func:`clear_cut_caches` -- the engine's
+    worker-cache regression test asserts these stay bounded across job
+    batches.  Registered entries either expose ``lru_cache``'s
+    ``cache_info`` or a custom ``cache_size`` hook (e.g. the matcher memo
+    sweeper); entries with neither count as zero.
+    """
+    sizes: dict[str, int] = {}
+    for cached in _CUT_PIPELINE_CACHES:
+        name = getattr(cached, "__name__", type(cached).__name__)
+        info = getattr(cached, "cache_info", None)
+        if info is not None:
+            sizes[name] = int(info().currsize)
+            continue
+        size_of = getattr(cached, "cache_size", None)
+        sizes[name] = int(size_of()) if size_of is not None else 0
+    return sizes
+
+
 def _expand_table(table: int, leaves: tuple[int, ...], merged: tuple[int, ...]) -> int:
     """Re-express ``table`` (over ``leaves``) over the superset ``merged``."""
     if leaves == merged:

@@ -14,7 +14,17 @@ The mapper is a layered engine in the spirit of ABC's ``map`` command:
    policy -- local gate cost, arrival/flow tie-break, preferred cell per
    canonical class -- is owned entirely by the
    :class:`~repro.synthesis.cost.CostModel` (``delay``/``area``/``power``);
-   the DP itself is objective agnostic.
+   the DP itself is objective agnostic.  For models providing the batch
+   hooks (all built-ins) the pass runs vectorized over a
+   :class:`CandidateTable`: nodes are processed one AIG level at a time
+   (``aig_array`` level buckets) and the per-node candidate scan becomes a
+   slot-indexed incumbent update across the whole level, bitwise identical
+   to the scalar scan (see :func:`_dp_round_batched`); the scalar
+   :func:`_dp_round` is retained as the oracle and as the fallback for
+   third-party cost models without the hooks.  Recovery re-solves are
+   *incremental*: only nodes whose required time, reference count or leaf
+   arrivals/flows actually changed since the previous round are re-chosen
+   (:class:`_DpState` carries the previous solution).
 3. **Covering.**  A backward traversal from the primary outputs selects the
    chosen cut of every required node and instantiates one library gate per
    selected cut.
@@ -399,6 +409,543 @@ def _dp_round(
     return choices, arrival_list, flow_list
 
 
+# -- vectorized DP ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CandidateTable:
+    """Struct-of-arrays candidate table: one row per matched ranked cut.
+
+    Rows are grouped contiguously per node in ascending node id (which is
+    also topological order for an :class:`Aig`), each node's rows in cut
+    slot order -- exactly the candidate sequence the scalar DP iterates.
+    ``leaves`` rows are the support-reduced cut leaves in cell input order,
+    padded with node 0 (whose arrival and flow are exactly ``0.0``, so
+    padded slots are no-ops in the max/sum kernels).  ``matches`` holds the
+    distinct :class:`~repro.synthesis.matcher.CellMatch` objects;
+    ``match_index`` maps rows onto them.  ``level_rows``/``level_local``
+    mirror ``level_nodes`` (the AIG's level buckets): the row indices of a
+    level's nodes and, per row, the position of its node within the bucket.
+    """
+
+    num_nodes: int
+    max_inputs: int
+    and_nodes: np.ndarray  #: int64 AND node ids (topological order)
+    node: np.ndarray  #: (rows,) int64 owning node per row
+    start: np.ndarray  #: (num_nodes,) int64 first row of each node
+    count: np.ndarray  #: (num_nodes,) int64 rows per node
+    leaves: np.ndarray  #: (rows, max_inputs) int32, padded with node 0
+    width: np.ndarray  #: (rows,) int64 number of real leaves
+    table_bits: np.ndarray  #: (rows,) uint64 reduced truth table
+    match_index: np.ndarray  #: (rows,) int64 index into ``matches``
+    delay: np.ndarray  #: (rows,) float64 cell FO4 delay
+    area: np.ndarray  #: (rows,) float64 cell area
+    parasitic: np.ndarray  #: (rows,) float64 parasitic delay
+    effort: np.ndarray  #: (rows,) float64 effort delay (per unit load)
+    matches: list[CellMatch]
+    level_nodes: tuple[np.ndarray, ...]
+    level_rows: tuple[np.ndarray, ...]
+    level_local: tuple[np.ndarray, ...]
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.node.shape[0])
+
+    def candidate(self, row: int) -> MatchCandidate:
+        """Materialize one row as a :class:`MatchCandidate` (cover phase).
+
+        Object construction dominates the scalar table build, so the batched
+        path only pays it here -- for the few hundred rows a cover actually
+        selects, not the tens of thousands the DP scans.
+        """
+        width = int(self.width[row])
+        return MatchCandidate(
+            leaves=tuple(int(leaf) for leaf in self.leaves[row, :width]),
+            table=int(self.table_bits[row]),
+            match=self.matches[int(self.match_index[row])],
+            delay=float(self.delay[row]),
+            area=float(self.area[row]),
+            parasitic=float(self.parasitic[row]),
+            effort=float(self.effort[row]),
+        )
+
+    def power_columns(self, context):
+        """Per-row power attributes for ``PowerFlowCost.price_batch``.
+
+        Returns ``(switched, pin_caps, static_low, negated)``: the matched
+        cell's switched capacitance, the per-leaf-position pin capacitances
+        (zero-padded to ``max_inputs`` columns), its low-state static
+        current and the output-inverter flag -- each resolved once per
+        distinct match and gathered per row.
+        """
+        num_matches = len(self.matches)
+        switched = np.zeros(num_matches, dtype=np.float64)
+        static_low = np.zeros(num_matches, dtype=np.float64)
+        negated = np.zeros(num_matches, dtype=bool)
+        caps = np.zeros((num_matches, self.max_inputs), dtype=np.float64)
+        for index, match in enumerate(self.matches):
+            power_report = match.cell.power
+            switched[index] = power_report.switched_capacitance
+            static_low[index] = power_report.static_current_low
+            negated[index] = match.match.output_negated
+            pin_caps = context.pin_capacitances(match)
+            caps[index, : len(pin_caps)] = pin_caps
+        gather = self.match_index
+        return switched[gather], caps[gather], static_low[gather], negated[gather]
+
+
+def _level_row_groups(
+    level_nodes: tuple[np.ndarray, ...], start: np.ndarray, count: np.ndarray
+) -> tuple[tuple[np.ndarray, ...], tuple[np.ndarray, ...]]:
+    """Row indices (and within-bucket node positions) per AIG level."""
+    level_rows: list[np.ndarray] = []
+    level_local: list[np.ndarray] = []
+    for nodes in level_nodes:
+        counts = count[nodes]
+        total = int(counts.sum())
+        local = np.repeat(np.arange(nodes.size, dtype=np.int64), counts)
+        offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        rows = np.repeat(start[nodes] - offsets, counts) + np.arange(
+            total, dtype=np.int64
+        )
+        level_rows.append(rows)
+        level_local.append(local)
+    return tuple(level_rows), tuple(level_local)
+
+
+def _empty_candidate_table(arrays, max_inputs: int) -> CandidateTable:
+    zero_rows = np.zeros(0, dtype=np.int64)
+    return CandidateTable(
+        num_nodes=arrays.num_nodes,
+        max_inputs=max_inputs,
+        and_nodes=arrays.and_nodes,
+        node=zero_rows,
+        start=np.zeros(arrays.num_nodes, dtype=np.int64),
+        count=np.zeros(arrays.num_nodes, dtype=np.int64),
+        leaves=np.zeros((0, max_inputs), dtype=np.int32),
+        width=zero_rows,
+        table_bits=np.zeros(0, dtype=np.uint64),
+        match_index=zero_rows,
+        delay=np.zeros(0, dtype=np.float64),
+        area=np.zeros(0, dtype=np.float64),
+        parasitic=np.zeros(0, dtype=np.float64),
+        effort=np.zeros(0, dtype=np.float64),
+        matches=[],
+        level_nodes=arrays.level_groups,
+        level_rows=tuple(zero_rows for _ in arrays.level_groups),
+        level_local=tuple(zero_rows for _ in arrays.level_groups),
+    )
+
+
+def _build_candidate_table(
+    arrays, cut_set, matcher: _MatcherBase, prefer: str
+) -> CandidateTable:
+    """Vectorized candidate-table construction (batched Boolean matching).
+
+    The valid ``(node, slot)`` pairs are flattened as in
+    :func:`_build_candidates`, but the matcher is consulted once per
+    *distinct* ``(size, table)`` function (``np.unique``): large benchmarks
+    repeat a few hundred cut functions across tens of thousands of cuts, so
+    deduplication removes almost all memo lookups.  Row order is identical
+    to the scalar build (nodes ascending, slot order within a node), and no
+    :class:`MatchCandidate` objects are created -- see
+    :meth:`CandidateTable.candidate`.
+    """
+    and_nodes = arrays.and_nodes
+    max_inputs = cut_set.max_inputs
+    if and_nodes.size == 0:
+        return _empty_candidate_table(arrays, max_inputs)
+    per_node = cut_set.count[and_nodes] - 1
+    total = int(per_node.sum())
+    if total == 0:
+        return _empty_candidate_table(arrays, max_inputs)
+    nodes_rep = np.repeat(and_nodes, per_node)
+    starts = np.concatenate(([0], np.cumsum(per_node)[:-1]))
+    slots = np.arange(total) - np.repeat(starts, per_node)
+
+    sizes = cut_set.size[nodes_rep, slots].astype(np.uint64)
+    tables = cut_set.table[nodes_rep, slots]
+    supports = cut_set.support[nodes_rep, slots]
+    cut_leaves = cut_set.leaves[nodes_rep, slots]
+
+    keys = np.empty((total, 2), dtype=np.uint64)
+    keys[:, 0] = sizes
+    keys[:, 1] = tables
+    distinct, first_index, inverse = np.unique(
+        keys, axis=0, return_index=True, return_inverse=True
+    )
+    inverse = inverse.reshape(-1)
+
+    num_distinct = distinct.shape[0]
+    matched = np.zeros(num_distinct, dtype=bool)
+    positions = np.zeros((num_distinct, max_inputs), dtype=np.int64)
+    widths = np.zeros(num_distinct, dtype=np.int64)
+    reduced = np.zeros(num_distinct, dtype=np.uint64)
+    match_ids = np.zeros(num_distinct, dtype=np.int64)
+    cell_delay = np.zeros(num_distinct, dtype=np.float64)
+    cell_area = np.zeros(num_distinct, dtype=np.float64)
+    cell_parasitic = np.zeros(num_distinct, dtype=np.float64)
+    cell_effort = np.zeros(num_distinct, dtype=np.float64)
+    matches: list[CellMatch] = []
+
+    match_positions = matcher.match_positions
+    size_list = distinct[:, 0].tolist()
+    table_list = distinct[:, 1].tolist()
+    support_list = supports[first_index].tolist()
+    for index in range(num_distinct):
+        found = match_positions(
+            size_list[index],
+            table_list[index],
+            prefer=prefer,
+            support_mask=support_list[index],
+        )
+        if found is None:
+            continue
+        match, match_pos, match_table = found
+        matched[index] = True
+        widths[index] = len(match_pos)
+        positions[index, : len(match_pos)] = match_pos
+        reduced[index] = match_table
+        match_ids[index] = len(matches)
+        matches.append(match)
+        cell = match.cell
+        fo4 = cell.delay.fo4_average
+        parasitic = cell.delay.parasitic_output
+        cell_delay[index] = fo4
+        cell_area[index] = cell.area
+        cell_parasitic[index] = parasitic
+        cell_effort[index] = max(fo4 - parasitic, 0.0) / 4.0
+
+    kept = np.nonzero(matched[inverse])[0]
+    ref = inverse[kept]
+    node_rows = nodes_rep[kept]
+    width_rows = widths[ref]
+    leaf_rows = np.take_along_axis(cut_leaves[kept], positions[ref], axis=1)
+    leaf_rows = np.where(
+        np.arange(max_inputs)[None, :] < width_rows[:, None], leaf_rows, 0
+    ).astype(np.int32)
+
+    count = np.bincount(node_rows, minlength=arrays.num_nodes).astype(np.int64)
+    start = np.concatenate(([0], np.cumsum(count)[:-1]))
+    level_rows, level_local = _level_row_groups(arrays.level_groups, start, count)
+    return CandidateTable(
+        num_nodes=arrays.num_nodes,
+        max_inputs=max_inputs,
+        and_nodes=and_nodes,
+        node=node_rows,
+        start=start,
+        count=count,
+        leaves=leaf_rows,
+        width=width_rows,
+        table_bits=reduced[ref],
+        match_index=match_ids[ref],
+        delay=cell_delay[ref],
+        area=cell_area[ref],
+        parasitic=cell_parasitic[ref],
+        effort=cell_effort[ref],
+        matches=matches,
+        level_nodes=arrays.level_groups,
+        level_rows=level_rows,
+        level_local=level_local,
+    )
+
+
+def _candidate_table_for(
+    arrays, cut_set, matcher: _MatcherBase, prefer: str
+) -> CandidateTable:
+    """Memoized :func:`_build_candidate_table` (same scheme as
+    :func:`_candidates_for`, distinct memo key space)."""
+    memo = cut_set.__dict__.get("_match_tables")
+    if memo is None:
+        memo = {}
+        object.__setattr__(cut_set, "_match_tables", memo)
+    key = ("batched", id(matcher), prefer)
+    entry = memo.get(key)
+    if entry is None or entry[0] is not matcher:
+        memo[key] = entry = (
+            matcher,
+            _build_candidate_table(arrays, cut_set, matcher, prefer),
+        )
+    return entry[1]
+
+
+def _concat_candidate_tables(
+    base: CandidateTable, extra: CandidateTable
+) -> tuple[CandidateTable, np.ndarray, np.ndarray]:
+    """Merge two tables per node: ``base`` rows first, then ``extra`` rows.
+
+    Reproduces the scalar recovery merge (``base + extra`` candidate lists).
+    Also returns the destination row indices of both inputs so per-row
+    companions (the price arrays) can be permuted instead of re-priced.
+    """
+    count = base.count + extra.count
+    start = np.concatenate(([0], np.cumsum(count)[:-1]))
+    base_local = np.arange(base.num_rows, dtype=np.int64) - base.start[base.node]
+    extra_local = np.arange(extra.num_rows, dtype=np.int64) - extra.start[extra.node]
+    dest_base = start[base.node] + base_local
+    dest_extra = start[extra.node] + base.count[extra.node] + extra_local
+
+    total = base.num_rows + extra.num_rows
+
+    def merge(field_base: np.ndarray, field_extra: np.ndarray) -> np.ndarray:
+        merged = np.empty(
+            (total,) + field_base.shape[1:], dtype=field_base.dtype
+        )
+        merged[dest_base] = field_base
+        merged[dest_extra] = field_extra
+        return merged
+
+    match_index = merge(
+        base.match_index, extra.match_index + len(base.matches)
+    )
+    level_rows, level_local = _level_row_groups(base.level_nodes, start, count)
+    merged = CandidateTable(
+        num_nodes=base.num_nodes,
+        max_inputs=base.max_inputs,
+        and_nodes=base.and_nodes,
+        node=merge(base.node, extra.node),
+        start=start,
+        count=count,
+        leaves=merge(base.leaves, extra.leaves),
+        width=merge(base.width, extra.width),
+        table_bits=merge(base.table_bits, extra.table_bits),
+        match_index=match_index,
+        delay=merge(base.delay, extra.delay),
+        area=merge(base.area, extra.area),
+        parasitic=merge(base.parasitic, extra.parasitic),
+        effort=merge(base.effort, extra.effort),
+        matches=base.matches + extra.matches,
+        level_nodes=base.level_nodes,
+        level_rows=level_rows,
+        level_local=level_local,
+    )
+    return merged, dest_base, dest_extra
+
+
+@dataclass
+class _DpState:
+    """A batched DP solution plus the inputs it was solved under.
+
+    Carries everything the incremental re-solve needs: identity of the
+    candidate table / price array / model / arrival model, the per-node
+    inputs (references, required times) and the full per-row and per-node
+    outputs.  :func:`_dp_round_batched` mutates the state in place on an
+    incremental call -- any previous solve of the same configuration is a
+    valid diff base, accepted or not, because the DP is a pure function of
+    its inputs.
+    """
+
+    table: CandidateTable
+    prices: np.ndarray
+    model_name: str
+    load_aware: bool
+    references: np.ndarray
+    required: np.ndarray | None
+    row_arrival: np.ndarray
+    row_flow: np.ndarray
+    arrival: np.ndarray
+    flow: np.ndarray
+    choice: np.ndarray
+
+
+class _BatchedChoices:
+    """Lazy node -> :class:`MatchCandidate` view over a DP solution.
+
+    Supports the mapping interface the cover phase and the recovery cost
+    accounting need (``choices[node]``) while materializing candidate
+    objects only for the nodes actually requested.
+    """
+
+    def __init__(self, table: CandidateTable, choice_rows: np.ndarray) -> None:
+        self._table = table
+        self._rows = choice_rows
+        self._memo: dict[int, MatchCandidate] = {}
+
+    def __getitem__(self, node: int) -> MatchCandidate:
+        cached = self._memo.get(node)
+        if cached is None:
+            row = int(self._rows[node])
+            if row < 0:
+                raise KeyError(node)
+            cached = self._memo[node] = self._table.candidate(row)
+        return cached
+
+
+def _supports_batch(model: CostModel) -> bool:
+    """Whether a cost model implements the vectorized DP hooks."""
+    return callable(getattr(model, "price_batch", None)) and callable(
+        getattr(model, "better_batch", None)
+    )
+
+
+def _dp_round_batched(
+    aig: Aig,
+    library: GateLibrary,
+    table: CandidateTable,
+    prices: np.ndarray,
+    model: CostModel,
+    references: np.ndarray,
+    required: np.ndarray | None = None,
+    load_aware: bool = False,
+    state: _DpState | None = None,
+) -> _DpState:
+    """Vectorized :func:`_dp_round`: level-batched, bitwise-identical scan.
+
+    Nodes are processed one AIG level at a time (every ranked-cut leaf lives
+    on a strictly lower level than its node, so a level's inputs are final
+    when it is reached).  Per level the scalar candidate loop becomes a scan
+    over candidate *slots*: slot ``s`` of every node in the level is
+    evaluated with one elementwise incumbent update.  Because the epsilon
+    tie-breaks are not transitive, a plain argmin could pick a different
+    (equally "best") candidate than the scalar incumbent scan; iterating
+    slots in cut-rank order reproduces the scalar comparison sequence
+    exactly, so the selected rows -- and all downstream artifacts -- are
+    bit-identical.
+
+    When ``state`` holds a previous solve of the same configuration (same
+    table, prices, model, arrival model, constraint shape), the pass is
+    *incremental*: a node is re-chosen only if its reference count or
+    required time changed, or the arrival/flow of any of its candidate
+    leaves did.  Unchanged nodes provably reproduce their stored outputs
+    (the per-node solve is a pure function of exactly those inputs), so the
+    incremental result equals a full re-solve bit for bit.
+    """
+    num_nodes = table.num_nodes
+    if table.and_nodes.size:
+        missing = table.and_nodes[table.count[table.and_nodes] == 0]
+        if missing.size:
+            raise MappingError(
+                f"node {int(missing[0])} of {aig.name!r} has no matching cell "
+                f"in library {library.name!r}"
+            )
+    full = (
+        state is None
+        or state.table is not table
+        or state.prices is not prices
+        or state.model_name != model.name
+        or state.load_aware != load_aware
+        or (state.required is None) != (required is None)
+    )
+    if full:
+        state = _DpState(
+            table=table,
+            prices=prices,
+            model_name=model.name,
+            load_aware=load_aware,
+            references=references,
+            required=required,
+            row_arrival=np.zeros(table.num_rows, dtype=np.float64),
+            row_flow=np.zeros(table.num_rows, dtype=np.float64),
+            arrival=np.zeros(num_nodes, dtype=np.float64),
+            flow=np.zeros(num_nodes, dtype=np.float64),
+            choice=np.full(num_nodes, -1, dtype=np.int64),
+        )
+        node_dirty = out_changed = None
+    else:
+        node_dirty = references != state.references
+        if required is not None:
+            # inf != inf is False, so unconstrained nodes stay clean.
+            node_dirty |= required != state.required
+        out_changed = np.zeros(num_nodes, dtype=bool)
+        state.references = references
+        state.required = required
+
+    arrival, flow, choice = state.arrival, state.flow, state.choice
+    row_arrival, row_flow = state.row_arrival, state.row_flow
+    better = model.better_batch
+    fallback_better = _DELAY_TIEBREAK.better_batch
+
+    for level_index, nodes in enumerate(table.level_nodes):
+        rows = table.level_rows[level_index]
+        if not full:
+            dirty = node_dirty[nodes]
+            if rows.size:
+                leaf_changed = out_changed[table.leaves[rows]].any(axis=1)
+                if leaf_changed.any():
+                    dirty = dirty | (
+                        np.bincount(
+                            table.level_local[level_index],
+                            weights=leaf_changed,
+                            minlength=nodes.size,
+                        )
+                        > 0
+                    )
+            if not dirty.any():
+                continue
+            if not dirty.all():
+                nodes = nodes[dirty]
+                rows = rows[dirty[table.level_local[level_index]]]
+        if rows.size == 0:
+            continue
+
+        # Per-row arrival and flow, in the scalar expression order: padded
+        # leaves are node 0 (arrival/flow exactly 0.0), so the row-max and
+        # the column-accumulated flow sum are unaffected bitwise.
+        leaf_ids = table.leaves[rows]
+        gate_delay = (
+            table.parasitic[rows] + table.effort[rows] * references[table.node[rows]]
+            if load_aware
+            else table.delay[rows]
+        )
+        row_arrival[rows] = arrival[leaf_ids].max(axis=1) + gate_delay
+        leaf_flows = flow[leaf_ids]
+        acc = np.zeros(rows.size, dtype=np.float64)
+        for position in range(table.max_inputs):
+            acc = acc + leaf_flows[:, position]
+        row_flow[rows] = (prices[rows] + acc) / references[table.node[rows]]
+
+        # Slot-ordered incumbent scan across the level (see docstring).
+        starts = table.start[nodes]
+        counts = table.count[nodes]
+        width = nodes.size
+        best_arrival = np.zeros(width, dtype=np.float64)
+        best_flow = np.zeros(width, dtype=np.float64)
+        best_row = np.full(width, -1, dtype=np.int64)
+        has_best = np.zeros(width, dtype=bool)
+        if required is not None:
+            node_required = required[nodes]
+            fb_arrival = np.zeros(width, dtype=np.float64)
+            fb_flow = np.zeros(width, dtype=np.float64)
+            fb_row = np.full(width, -1, dtype=np.int64)
+            has_fb = np.zeros(width, dtype=bool)
+        for slot in range(int(counts.max())):
+            valid = slot < counts
+            slot_rows = np.where(valid, starts + slot, 0)
+            slot_arrival = row_arrival[slot_rows]
+            slot_flow = row_flow[slot_rows]
+            if required is not None:
+                take_fb = valid & (
+                    ~has_fb
+                    | fallback_better(slot_arrival, slot_flow, fb_arrival, fb_flow)
+                )
+                fb_arrival = np.where(take_fb, slot_arrival, fb_arrival)
+                fb_flow = np.where(take_fb, slot_flow, fb_flow)
+                fb_row = np.where(take_fb, slot_rows, fb_row)
+                has_fb |= take_fb
+                valid = valid & (slot_arrival <= node_required + EPSILON)
+            take = valid & (
+                ~has_best | better(slot_arrival, slot_flow, best_arrival, best_flow)
+            )
+            best_arrival = np.where(take, slot_arrival, best_arrival)
+            best_flow = np.where(take, slot_flow, best_flow)
+            best_row = np.where(take, slot_rows, best_row)
+            has_best |= take
+        if required is not None and not has_best.all():
+            use_fb = ~has_best
+            best_arrival = np.where(use_fb, fb_arrival, best_arrival)
+            best_flow = np.where(use_fb, fb_flow, best_flow)
+            best_row = np.where(use_fb, fb_row, best_row)
+
+        if not full:
+            out_changed[nodes] = (arrival[nodes] != best_arrival) | (
+                flow[nodes] != best_flow
+            )
+        arrival[nodes] = best_arrival
+        flow[nodes] = best_flow
+        choice[nodes] = best_row
+    return state
+
+
 def _cover(
     aig: Aig,
     library: GateLibrary,
@@ -515,6 +1062,7 @@ def map_rounds(
     max_inputs: int = DEFAULT_MAX_INPUTS,
     cut_limit: int = DEFAULT_CUT_LIMIT,
     activities: "ActivityReport | None" = None,
+    incremental: bool = True,
 ) -> MappingResult:
     """Map an AIG with ``rounds`` required-time recovery rounds.
 
@@ -527,6 +1075,11 @@ def map_rounds(
     improve -- slower than round 0, or costlier than the incumbent under
     the recovery model -- are recorded but not accepted, so
     :attr:`MappingResult.final` never regresses either axis.
+
+    ``incremental=False`` forces every recovery re-solve to run the DP from
+    scratch instead of diffing against the previous round's
+    :class:`_DpState`; the results are identical (pinned by the equivalence
+    property tests), the flag exists for oracle comparisons.
     """
     if rounds < 0:
         raise ValueError("rounds must be non-negative")
@@ -571,6 +1124,13 @@ def map_rounds(
         cut_set = cut_set_for(aig, max_inputs=max_inputs, cut_limit=cut_limit)
         arrays = aig_arrays(aig)
 
+    # The batched DP engine needs the vectorized cost hooks on every model
+    # that will price candidates this call; a third-party model without them
+    # keeps the scalar oracle path for the whole run.
+    batched = _supports_batch(model) and (
+        recovery_model is None or _supports_batch(recovery_model)
+    )
+
     and_node_list = arrays.and_nodes.tolist()
     fanout = arrays.fanout.tolist()
     structural_references = [max(count, 1.0) for count in fanout]
@@ -579,34 +1139,50 @@ def map_rounds(
     # vs area-optimal cell per canonical class) and shared between models;
     # prices are keyed by (model, policy).  Both are built at most once per
     # call.
-    candidate_tables: dict[str, list[list[MatchCandidate]]] = {}
-    price_tables: dict[tuple[str, str], list[list[float]]] = {}
+    candidate_tables: dict[str, object] = {}
+    price_tables: dict[tuple[str, str], object] = {}
 
     def tables_for(which: CostModel, prefer: str | None = None):
         prefer = which.prefer if prefer is None else prefer
         table = candidate_tables.get(prefer)
         if table is None:
-            table = candidate_tables[prefer] = _candidates_for(
-                arrays, cut_set, matcher, prefer
+            table = candidate_tables[prefer] = (
+                _candidate_table_for(arrays, cut_set, matcher, prefer)
+                if batched
+                else _candidates_for(arrays, cut_set, matcher, prefer)
             )
         prices = price_tables.get((which.name, prefer))
         if prices is None:
-            prices = price_tables[(which.name, prefer)] = _price_candidates(
-                and_node_list, table, which, context
+            prices = price_tables[(which.name, prefer)] = (
+                which.price_batch(table, context)
+                if batched
+                else _price_candidates(and_node_list, table, which, context)
             )
         return table, prices
 
+    dp_state: _DpState | None = None
     with profiling.stage("match"):
         candidates, prices = tables_for(model)
-        choices, _, _ = _dp_round(
-            aig,
-            library,
-            and_node_list,
-            candidates,
-            prices,
-            model,
-            structural_references,
-        )
+        if batched:
+            dp_state = _dp_round_batched(
+                aig,
+                library,
+                candidates,
+                prices,
+                model,
+                np.maximum(arrays.fanout, 1).astype(np.float64),
+            )
+            choices = _BatchedChoices(candidates, dp_state.choice.copy())
+        else:
+            choices, _, _ = _dp_round(
+                aig,
+                library,
+                and_node_list,
+                candidates,
+                prices,
+                model,
+                structural_references,
+            )
 
     with profiling.stage("cover"):
         mapped, report = _cover(aig, library, choices, pin_capacitances)
@@ -634,13 +1210,24 @@ def map_rounds(
         # class): timing-critical nodes can then keep the fast cells round 0
         # used instead of degrading to the cheapest cell of the class.
         extra_candidates, extra_prices = tables_for(recovery_model, model.prefer)
-        recovery_candidates = [
-            base + extra
-            for base, extra in zip(recovery_candidates, extra_candidates)
-        ]
-        recovery_prices = [
-            base + extra for base, extra in zip(recovery_prices, extra_prices)
-        ]
+        if batched:
+            recovery_candidates, dest_base, dest_extra = _concat_candidate_tables(
+                recovery_candidates, extra_candidates
+            )
+            merged_prices = np.empty(
+                recovery_candidates.num_rows, dtype=np.float64
+            )
+            merged_prices[dest_base] = recovery_prices
+            merged_prices[dest_extra] = extra_prices
+            recovery_prices = merged_prices
+        else:
+            recovery_candidates = [
+                base + extra
+                for base, extra in zip(recovery_candidates, extra_candidates)
+            ]
+            recovery_prices = [
+                base + extra for base, extra in zip(recovery_prices, extra_prices)
+            ]
 
     def cover_cost(mapped_round: MappedCircuit, round_choices) -> float:
         price = recovery_model.gate_cost
@@ -666,17 +1253,38 @@ def map_rounds(
                 required = _required_times(
                     arrays.num_nodes, best_report, baseline_delay - margin
                 )
-                round_choices, _, _ = _dp_round(
-                    aig,
-                    library,
-                    and_node_list,
-                    recovery_candidates,
-                    recovery_prices,
-                    recovery_model,
-                    _cover_references(best_mapped, fanout),
-                    required=required,
-                    load_aware=True,
-                )
+                references = _cover_references(best_mapped, fanout)
+                if batched:
+                    # Incremental re-solve: between rounds (and deadline
+                    # retries) only the required/reference inputs move, so
+                    # the DP diffs against the previous solution and
+                    # re-chooses the affected cone only.
+                    dp_state = _dp_round_batched(
+                        aig,
+                        library,
+                        recovery_candidates,
+                        recovery_prices,
+                        recovery_model,
+                        np.asarray(references, dtype=np.float64),
+                        required=np.asarray(required, dtype=np.float64),
+                        load_aware=True,
+                        state=dp_state if incremental else None,
+                    )
+                    round_choices = _BatchedChoices(
+                        recovery_candidates, dp_state.choice.copy()
+                    )
+                else:
+                    round_choices, _, _ = _dp_round(
+                        aig,
+                        library,
+                        and_node_list,
+                        recovery_candidates,
+                        recovery_prices,
+                        recovery_model,
+                        references,
+                        required=required,
+                        load_aware=True,
+                    )
                 round_mapped, round_report = _cover(
                     aig, library, round_choices, pin_capacitances
                 )

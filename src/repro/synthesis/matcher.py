@@ -344,6 +344,14 @@ class _MatcherMemoSweeper:
         for matcher in _MATCHER_CACHE.values():
             matcher.cache_clear()
 
+    def cache_size(self) -> int:
+        """Total memoized matches across the cached matchers (diagnostics)."""
+        total = 0
+        for matcher in _MATCHER_CACHE.values():
+            total += len(matcher.__dict__.get("_positions_memo") or ())
+            total += len(getattr(matcher, "_match_memo", None) or ())
+        return total
+
 
 register_cut_cache(_MatcherMemoSweeper())
 

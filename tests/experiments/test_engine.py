@@ -269,3 +269,138 @@ class TestArtifacts:
             figure6_payload(figure6_from_table3(table3)),
         ):
             assert json.loads(json.dumps(payload)) == payload
+
+
+class TestSharedMemoryTransport:
+    """The shared-memory subject transport and the worker cache-epoch protocol."""
+
+    def test_publish_resolve_roundtrip_through_attach_path(self):
+        """A handle resolved in a foreign process (simulated by clearing the
+        local registry) rebuilds a structurally identical subject with the
+        published arrays installed, and maps identically."""
+        import numpy as np
+
+        from repro.experiments import shm
+        from repro.flow import run_flow
+        from repro.synthesis.aig_array import aig_arrays
+        from repro.synthesis.cuts import cut_set_for
+        from repro.synthesis.mapper import technology_map
+        from repro.synthesis.matcher import matcher_for
+
+        aig = run_flow("resyn2rs", benchmark_by_name("add-16").build()).aig
+        arrays = aig_arrays(aig)
+        cut_set = cut_set_for(aig)
+        key = f"{aig_fingerprint(aig)}:{cut_set.max_inputs}:{cut_set.cut_limit}"
+        try:
+            handle = shm.publish_subject(key, aig, arrays, cut_set)
+        except OSError:
+            pytest.skip("no usable shared memory on this platform")
+        try:
+            assert shm.resolve_subject(handle) is aig  # publisher answers locally
+            shm._LOCAL.pop(key)  # simulate a worker: force the attach path
+            rebuilt = shm.resolve_subject(handle)
+            assert rebuilt is not aig
+            assert aig_fingerprint(rebuilt) == aig_fingerprint(aig)
+            assert rebuilt.pi_names == aig.pi_names
+            assert rebuilt.po_names == aig.po_names
+            r_arrays = aig_arrays(rebuilt)
+            assert np.array_equal(r_arrays.fanin0, arrays.fanin0)
+            assert np.array_equal(r_arrays.fanout, arrays.fanout)
+            r_cuts = cut_set_for(rebuilt)  # must hit the installed memo
+            assert np.array_equal(r_cuts.leaves, cut_set.leaves)
+            assert np.array_equal(r_cuts.table, cut_set.table)
+            library = build_library(LogicFamily.TG_STATIC)
+            original = technology_map(aig, library, matcher=matcher_for(library))
+            remapped = technology_map(rebuilt, library, matcher=matcher_for(library))
+            assert [
+                (g.output, g.cell_name, g.leaves, g.table, g.inverted)
+                for g in original.gates
+            ] == [
+                (g.output, g.cell_name, g.leaves, g.table, g.inverted)
+                for g in remapped.gates
+            ]
+            assert original.normalized_delay == remapped.normalized_delay
+        finally:
+            shm.drop_attachments()
+            shm.release_subjects()
+        assert shm.attachment_count() == 0
+        assert shm.published_count() == 0
+
+    def test_jobs2_shared_memory_smoke(self):
+        """Fast-lane transport smoke: a --jobs 2 run over two benchmarks must
+        publish subjects, drain the pool and stay bit-identical to jobs=1."""
+        from repro.experiments import shm
+
+        published = []
+        original_publish = shm.publish_subject
+
+        def counting_publish(key, aig, arrays, cut_set):
+            handle = original_publish(key, aig, arrays, cut_set)
+            published.append(key)
+            return handle
+
+        names = ("add-16", "t481")
+        shm.publish_subject = counting_publish
+        try:
+            parallel = ExperimentEngine(jobs=2, use_cache=False).run_table3(
+                benchmark_names=names, families=FAMILIES
+            )
+        finally:
+            shm.publish_subject = original_publish
+        sequential = ExperimentEngine(jobs=1, use_cache=False).run_table3(
+            benchmark_names=names, families=FAMILIES
+        )
+        assert _stats_view(sequential) == _stats_view(parallel)
+        assert len(published) == len(names)  # one segment per distinct subject
+        assert shm.published_count() == 0  # released in the engine's finally
+
+    def test_worker_cache_epoch_keeps_memos_bounded(self):
+        """A long-lived worker must drop its per-process memos when the cache
+        epoch rolls over, instead of accumulating them across job batches."""
+        import repro.experiments.engine as engine_module
+        from repro.experiments.engine import (
+            _run_map_job,
+            _worker_cache_footprint,
+        )
+
+        job_a = MapJob("add-16", LogicFamily.TG_STATIC)
+        job_b = MapJob("t481", LogicFamily.TG_STATIC)
+        saved_epoch = engine_module._WORKER_EPOCH
+        try:
+            # Simulate a pool worker initialized for epoch 1.
+            engine_module._reset_worker_state(1)
+            _run_map_job((job_a.spec(), 1, None))
+            _run_map_job((job_b.spec(), 1, None))
+            grown = _worker_cache_footprint()
+            assert grown["optimized_aigs"] == 2
+            assert grown["activity_reports"] == 2
+            assert grown["cut_cache_entries"] > 0
+
+            # Next batch: the epoch stamped on the job moves to 2; the
+            # worker-side memos must reset instead of accumulating.
+            _run_map_job((job_a.spec(), 2, None))
+            bounded = _worker_cache_footprint()
+            assert bounded["optimized_aigs"] == 1
+            assert bounded["activity_reports"] == 1
+            assert bounded["cut_cache_entries"] <= grown["cut_cache_entries"]
+
+            # Same epoch again: warm memos are kept (no churn within a batch).
+            _run_map_job((job_a.spec(), 2, None))
+            assert _worker_cache_footprint()["optimized_aigs"] == 1
+        finally:
+            engine_module._reset_worker_state(0)
+            engine_module._WORKER_EPOCH = saved_epoch
+
+    def test_parent_in_process_jobs_do_not_reset_parent_memos(self):
+        """jobs=1 (and the pool-failure fallback) execute in the parent, where
+        _WORKER_EPOCH is None: the epoch check must never clear parent state."""
+        import repro.experiments.engine as engine_module
+        from repro.experiments.engine import _run_map_job
+
+        assert engine_module._WORKER_EPOCH is None
+        job = MapJob("add-16", LogicFamily.TG_STATIC)
+        _run_map_job((job.spec(), 123456, None))
+        assert ("add-16", "resyn2rs") in engine_module._OPTIMIZED_AIGS
+        # A second job with a different epoch still must not clear anything.
+        _run_map_job((job.spec(), 654321, None))
+        assert ("add-16", "resyn2rs") in engine_module._OPTIMIZED_AIGS
