@@ -86,3 +86,27 @@ def test_bench_named_flows(benchmark, flow):
     assert result.aig.num_ands > 0
     if flow != "none":
         assert result.passes
+
+
+@pytest.mark.parametrize("pass_name", ("balance", "rewrite"))
+def test_bench_single_pass(benchmark, pass_name):
+    """Balance/rewrite split of the ``resyn2rs`` lane (vectorized fast paths).
+
+    ``rewrite`` is timed on the balanced subject -- its position in the
+    flow -- with the per-AIG cut-set memo dropped each round so every round
+    pays for cut enumeration like a cold flow does.
+    """
+    from repro.flow.passes import get_pass
+
+    aig = benchmark_by_name("C1355").build()
+    if pass_name == "rewrite":
+        aig = run_flow("quick", aig).aig
+
+    run = get_pass(pass_name).run
+
+    def setup():
+        aig.__dict__.pop("_cut_sets", None)
+        return (aig,), {}
+
+    result = benchmark.pedantic(run, setup=setup, rounds=20)
+    assert result.num_ands > 0

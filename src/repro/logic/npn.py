@@ -38,7 +38,7 @@ from __future__ import annotations
 
 from functools import lru_cache
 from itertools import permutations
-from typing import Iterator, NamedTuple
+from typing import Iterator, NamedTuple, Sequence
 
 import numpy as np
 
@@ -270,6 +270,32 @@ def canonicalize_bits(
             best, perm, phase = negated_best, negated_perm, negated_phase
             output_negated = True
     return best, perm, phase, output_negated
+
+
+def canonicalize_bits_batch(
+    bits: "Sequence[int] | np.ndarray",
+    num_vars: int,
+    include_output_negation: bool = True,
+) -> list[tuple[int, tuple[int, ...], int, bool]]:
+    """Canonicalize a batch of raw tables of one arity.
+
+    Deduplicates the batch with one ``np.unique`` pass, sends each distinct
+    table through the memoized vectorized canonicalizer
+    (:func:`canonicalize_bits`, one numpy orbit scan per polarity) and
+    scatters the results back in input order.  This is the entry point the
+    rewrite library uses to register all distinct cut functions of a pass
+    at once; results are element-for-element identical to calling
+    :func:`canonicalize_bits` in a loop.
+    """
+    array = np.asarray(bits, dtype=np.uint64)
+    if array.size == 0:
+        return []
+    unique, inverse = np.unique(array, return_inverse=True)
+    results = [
+        canonicalize_bits(int(value), num_vars, include_output_negation)
+        for value in unique.tolist()
+    ]
+    return [results[index] for index in inverse.tolist()]
 
 
 def npn_canonicalize(

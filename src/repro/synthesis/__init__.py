@@ -11,7 +11,11 @@ self-contained flow:
   benchmark generators (named signals, word-level helpers);
 * :mod:`repro.synthesis.blif` -- BLIF import/export;
 * :mod:`repro.synthesis.optimize` -- technology-independent optimization
-  (balancing and cut-based rewriting, our stand-in for ``resyn2rs``);
+  (balancing and cut-based rewriting, our stand-in for ``resyn2rs``; the
+  array-backed fast passes are pinned node-for-node to the retained
+  ``*_reference`` oracles);
+* :mod:`repro.synthesis.rewrite_lib` -- the NPN-class rewrite library of
+  compiled SOP cover programs backing the fast ``rewrite`` pass;
 * :mod:`repro.synthesis.cuts` -- k-feasible priority-cut enumeration with cut
   functions;
 * :mod:`repro.synthesis.matcher` -- Boolean matching of cut functions against
@@ -29,8 +33,15 @@ from repro.synthesis.aig import Aig, AigLiteral
 from repro.synthesis.builder import CircuitBuilder
 from repro.synthesis.blif import read_blif, write_blif
 from repro.synthesis.cost import CostModel, cost_model_for, register_cost_model
-from repro.synthesis.optimize import optimize, balance, rewrite
+from repro.synthesis.optimize import (
+    optimize,
+    balance,
+    balance_reference,
+    rewrite,
+    rewrite_reference,
+)
 from repro.synthesis.cuts import enumerate_cuts
+from repro.synthesis.rewrite_lib import REWRITE_LIBRARY, RewriteLibrary
 from repro.synthesis.matcher import ExhaustiveLibraryMatcher, LibraryMatcher
 from repro.synthesis.mapper import (
     MappedCircuit,
@@ -48,7 +59,11 @@ __all__ = [
     "write_blif",
     "optimize",
     "balance",
+    "balance_reference",
     "rewrite",
+    "rewrite_reference",
+    "REWRITE_LIBRARY",
+    "RewriteLibrary",
     "cost_model_for",
     "enumerate_cuts",
     "ExhaustiveLibraryMatcher",

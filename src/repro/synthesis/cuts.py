@@ -204,6 +204,7 @@ def cut_cache_sizes() -> dict[str, int]:
     return sizes
 
 
+@lru_cache(maxsize=1 << 16)
 def _expand_table(table: int, leaves: tuple[int, ...], merged: tuple[int, ...]) -> int:
     """Re-express ``table`` (over ``leaves``) over the superset ``merged``."""
     if leaves == merged:
@@ -216,6 +217,9 @@ def _expand_table(table: int, leaves: tuple[int, ...], merged: tuple[int, ...]) 
         else:
             inserts.append(position)
     return _expand_at_positions(table, tuple(inserts))
+
+
+_CUT_PIPELINE_CACHES.append(_expand_table)
 
 
 def _merge_leaves(a: tuple[int, ...], b: tuple[int, ...], limit: int) -> tuple[int, ...] | None:
@@ -302,8 +306,11 @@ class CutSet:
 #: Below this many candidate cut pairs per level (nodes per level times the
 #: squared per-node cut count), per-operation dispatch overhead beats the
 #: batching win and the scalar path is used instead (deep, narrow graphs such
-#: as ripple-carry chains at small K).
-VECTOR_PAIRS_THRESHOLD = 512
+#: as ripple-carry chains at small K).  Measured crossover on this container
+#: is ~190 at the rewrite pass's K=4 / cut_limit=4 shape: C6288 (497
+#: pairs/level) enumerates 1.8x faster batched while add-64 (111) and C1355
+#: (181) stay faster scalar.
+VECTOR_PAIRS_THRESHOLD = 192
 
 
 def enumerate_cuts_arrays(
@@ -325,12 +332,7 @@ def enumerate_cuts_arrays(
         arrays.num_ands / groups * (cut_limit + 1) ** 2 if groups else 0.0
     )
     if pairs_per_level < VECTOR_PAIRS_THRESHOLD:
-        return _cut_set_from_dict(
-            enumerate_cuts_reference(aig, max_inputs=max_inputs, cut_limit=cut_limit),
-            arrays,
-            max_inputs,
-            cut_limit,
-        )
+        return enumerate_cuts_scalar(aig, max_inputs=max_inputs, cut_limit=cut_limit)
     return enumerate_cuts_vectorized(aig, max_inputs=max_inputs, cut_limit=cut_limit)
 
 
@@ -353,6 +355,161 @@ def _cut_set_from_dict(
             size[node, slot] = width
             table[node, slot] = cut.table
             support[node, slot] = cut.support_mask()
+    return CutSet(
+        max_inputs=max_inputs,
+        cut_limit=cut_limit,
+        count=count,
+        leaves=leaves,
+        size=size,
+        table=table,
+        support=support,
+    )
+
+
+def enumerate_cuts_scalar(
+    aig: Aig,
+    max_inputs: int = DEFAULT_MAX_INPUTS,
+    cut_limit: int = DEFAULT_CUT_LIMIT,
+) -> CutSet:
+    """Tuned scalar enumeration straight into the array representation.
+
+    The narrow-graph arm of :func:`enumerate_cuts_arrays`: the same
+    algorithm as :func:`enumerate_cuts_reference` -- fanin-major pair order,
+    first-wins leaf-set dedup, stable ``(size, single-fanout leaves)``
+    ranking -- but with the per-pair overhead stripped (plain tuple/dict
+    state instead of :class:`Cut` objects, table expansion skipped for
+    aligned leaf sets, duplicate leaf sets skipped before any table work)
+    and the result scattered into the :class:`CutSet` arrays in one bulk
+    numpy pass instead of per-slot assignments.  Produces bit-identical
+    cuts; the property tests compare all three enumerators cut for cut.
+    """
+    _validate_parameters(max_inputs, cut_limit)
+    arrays = aig_arrays(aig)
+    num_nodes = arrays.num_nodes
+    fanin0 = arrays.fanin0.tolist()
+    fanin1 = arrays.fanin1.tolist()
+    fanout = arrays.fanout.tolist()
+    single = [count == 1 for count in fanout]
+
+    trivial_table = 0b10
+    # Per-cut state: (leaves tuple, leaf set, single-fanout count, table).
+    # The set and the ranking count are computed once per kept cut instead
+    # of once per fanin pair.
+    cuts: list[list[tuple[tuple[int, ...], set[int], int, int]] | None] = (
+        [None] * num_nodes
+    )
+    cuts[0] = [((0,), {0}, int(single[0]), trivial_table)]
+    for pi in arrays.pi_nodes.tolist():
+        cuts[pi] = [((pi,), {pi}, int(single[pi]), trivial_table)]
+
+    owners: list[int] = []
+    slots_of: list[int] = []
+    sizes_flat: list[int] = []
+    tables_flat: list[int] = []
+    supports_flat: list[int] = []
+    rows: list[tuple[int, ...]] = []
+    counts = [0] * num_nodes
+
+    pad = (int(LEAF_SENTINEL),) * max_inputs
+    expand = _expand_table
+    support_of = table_support
+    full_mask = _FULL_MASK
+
+    for node in arrays.and_nodes.tolist():
+        f0 = fanin0[node]
+        f1 = fanin1[node]
+        comp0 = f0 & 1
+        comp1 = f1 & 1
+        list0 = cuts[f0 >> 1]
+        list1 = cuts[f1 >> 1]
+        # First-wins dedup on the leaf set only; tables are computed after
+        # ranking, for the kept cuts alone (the ranking key never looks at
+        # the table, and the first pair producing a leaf set is recorded, so
+        # the kept tables are exactly the ones the eager loop would keep).
+        # Keys are materialized at insertion as plain tuples -- sorting them
+        # natively with the insertion index as tiebreaker reproduces the
+        # stable (size, single-fanout leaves) ranking without a key lambda.
+        seen: set[tuple[int, ...]] = set()
+        keyed: list[tuple] = []
+        for leaves0, set0, singles0, table0 in list0:
+            for leaves1, set1, singles1, table1 in list1:
+                if set1 <= set0:
+                    merged = leaves0
+                    merged_set = set0
+                    singles = singles0
+                elif set0 <= set1:
+                    merged = leaves1
+                    merged_set = set1
+                    singles = singles1
+                else:
+                    merged_set = set0 | set1
+                    if len(merged_set) > max_inputs:
+                        continue
+                    merged = tuple(sorted(merged_set))
+                    singles = sum(map(single.__getitem__, merged))
+                if merged in seen:
+                    continue  # identical leaf sets produce the same function
+                seen.add(merged)
+                keyed.append(
+                    (
+                        len(merged),
+                        singles,
+                        len(keyed),
+                        merged,
+                        merged_set,
+                        (leaves0, table0, leaves1, table1),
+                    )
+                )
+
+        keyed.sort()
+        node_cuts = []
+        for _, singles, _, merged, merged_set, pair in keyed[:cut_limit]:
+            leaves0, table0, leaves1, table1 = pair
+            full = full_mask[len(merged)]
+            t0 = table0 if leaves0 == merged else expand(table0, leaves0, merged)
+            t1 = table1 if leaves1 == merged else expand(table1, leaves1, merged)
+            if comp0:
+                t0 = ~t0 & full
+            if comp1:
+                t1 = ~t1 & full
+            node_cuts.append((merged, merged_set, singles, t0 & t1))
+        node_cuts.append(((node,), {node}, int(single[node]), trivial_table))
+        cuts[node] = node_cuts
+        counts[node] = len(node_cuts)
+        for slot, (leaves_t, _set, _singles, table) in enumerate(node_cuts):
+            width = len(leaves_t)
+            owners.append(node)
+            slots_of.append(slot)
+            sizes_flat.append(width)
+            tables_flat.append(table)
+            supports_flat.append(
+                1 if width == 1 else support_of(table, width)
+            )
+            rows.append(leaves_t + pad[width:])
+
+    slots = cut_limit + 1
+    count = np.zeros(num_nodes, dtype=np.int64)
+    leaves = np.full((num_nodes, slots, max_inputs), LEAF_SENTINEL, dtype=np.int32)
+    size = np.zeros((num_nodes, slots), dtype=np.int8)
+    table = np.zeros((num_nodes, slots), dtype=np.uint64)
+    support = np.zeros((num_nodes, slots), dtype=np.uint8)
+
+    initial = np.concatenate(([0], arrays.pi_nodes)).astype(np.int64)
+    leaves[initial, 0, 0] = initial
+    size[initial, 0] = 1
+    table[initial, 0] = trivial_table
+    support[initial, 0] = 1
+    count[initial] = 1
+
+    if owners:
+        owner_index = np.asarray(owners, dtype=np.int64)
+        slot_index = np.asarray(slots_of, dtype=np.int64)
+        leaves[owner_index, slot_index] = np.asarray(rows, dtype=np.int32)
+        size[owner_index, slot_index] = np.asarray(sizes_flat, dtype=np.int8)
+        table[owner_index, slot_index] = np.asarray(tables_flat, dtype=np.uint64)
+        support[owner_index, slot_index] = np.asarray(supports_flat, dtype=np.uint8)
+        count[1:] = np.maximum(count[1:], np.bincount(owner_index, minlength=num_nodes)[1:])
+
     return CutSet(
         max_inputs=max_inputs,
         cut_limit=cut_limit,
