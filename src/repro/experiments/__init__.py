@@ -10,10 +10,17 @@
 * :mod:`repro.experiments.pareto` -- per-benchmark area/delay/power Pareto
   fronts across the logic families and mapping objectives;
 * :mod:`repro.experiments.engine` -- the parallel, cache-aware job engine
-  the table/figure experiments are scheduled through.
+  the table/figure experiments are scheduled through;
+* :mod:`repro.experiments.resilience` -- the fault-tolerant batch executor
+  behind parallel engine runs (per-job retries/timeouts, pool rebuild);
+* :mod:`repro.experiments.faults` -- the deterministic fault-injection
+  harness (chaos suite) proving the resilience layer keeps artifacts
+  bit-identical.
 """
 
 from repro.experiments.engine import ExperimentEngine, MapJob, ResultCache
+from repro.experiments.faults import FaultPlan
+from repro.experiments.resilience import JobFailure, RetryPolicy
 from repro.experiments.table2 import Table2Result, run_table2
 from repro.experiments.table3 import PowerStats, Table3Result, Table3Row, run_table3
 from repro.experiments.figure6 import Figure6Result, run_figure6
@@ -27,8 +34,11 @@ from repro.experiments.report import (
 
 __all__ = [
     "ExperimentEngine",
+    "FaultPlan",
+    "JobFailure",
     "MapJob",
     "ResultCache",
+    "RetryPolicy",
     "Table2Result",
     "run_table2",
     "PowerStats",

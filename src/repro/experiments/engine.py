@@ -14,10 +14,25 @@ the single scheduling/caching layer behind :mod:`repro.experiments.table2`,
   job is a pure function of its spec, so the parallel schedule is
   bit-identical to the deterministic single-process fallback (which is also
   used automatically if a process pool cannot be created).
+* **Fault tolerance.**  Parallel batches go through
+  :mod:`repro.experiments.resilience`: per-job futures with a wall-clock
+  timeout, bounded retries with deterministic backoff for crashed or
+  timed-out jobs, pool rebuild on ``BrokenExecutor`` re-dispatching only
+  the jobs still pending, and in-process degradation once retries are
+  exhausted.  Real job exceptions (flow errors) propagate unretried.
+  Completed payloads are cache-committed the moment they arrive, never at
+  batch end.  The chaos harness (:mod:`repro.experiments.faults`) injects
+  deterministic worker kills / delays / attach failures to prove all of
+  this keeps artifacts bit-identical.
 * **Content-addressed caching.**  Each job result is memoized in an
   on-disk JSON cache keyed by a SHA-256 hash of the subject AIG structure,
-  the characterized library and the flow parameters.  Corrupted or
-  stale-schema entries are ignored and recomputed.  The cache directory is
+  the characterized library and the flow parameters.  The store is safe
+  for concurrent runners: two-level sharded directories, unique
+  ``mkstemp`` staging with atomic ``os.replace`` commits under an advisory
+  per-entry lock, per-entry payload checksums verified on read,
+  quarantine (``<cache>/corrupt/``) of damaged entries instead of silent
+  re-misses, and optional size-based LRU eviction
+  (``REPRO_CACHE_MAX_BYTES``).  The cache directory is
   ``$REPRO_CACHE_DIR``, falling back to ``$XDG_CACHE_HOME/repro/experiments``
   and then ``~/.cache/repro/experiments``.
 * **JSON artifacts.**  :meth:`ExperimentEngine.write_artifacts` emits
@@ -30,11 +45,17 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+import tempfile
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass
 from functools import lru_cache
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import Callable, Iterator, Sequence
+
+try:  # advisory file locking; absent on non-POSIX platforms
+    import fcntl
+except ImportError:  # pragma: no cover - POSIX-only dependency
+    fcntl = None  # type: ignore[assignment]
 
 from repro.analysis.activity import DEFAULT_SEED, DEFAULT_VECTORS, compute_activities
 from repro.analysis.power import analyze_power
@@ -58,7 +79,7 @@ from repro.experiments.table3 import (
     _paper_row,
 )
 from repro import profiling
-from repro.experiments import shm
+from repro.experiments import faults, resilience, shm
 from repro.flow import DEFAULT_FLOW, get_flow, resolve_flow, run_flow
 from repro.synthesis.aig import Aig
 from repro.synthesis.aig_array import aig_arrays
@@ -81,8 +102,11 @@ from repro.synthesis.matcher import matcher_for
 #: characterization via the extended library fingerprint.  Schema 4:
 #: mapping jobs carry the multi-round recovery knobs (``rounds`` /
 #: ``recovery``), both folded into the key so recovered results never
-#: satisfy round-0 requests (or vice versa).
-CACHE_SCHEMA = 4
+#: satisfy round-0 requests (or vice versa).  Schema 5: the hardened
+#: multi-process store -- entries live in two-level shard directories and
+#: carry a sha256 payload checksum verified on read; pre-shard flat
+#: entries are simply never found at the sharded paths.
+CACHE_SCHEMA = 5
 
 
 def default_cache_dir() -> Path:
@@ -211,42 +235,185 @@ class CharacterizationJob:
         return (self.family.value,)
 
 
-class ResultCache:
-    """Content-addressed JSON store; one file per job result.
+def _payload_checksum(payload: dict) -> str:
+    """Canonical sha256 over a payload's JSON form (verified on read)."""
+    material = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(material.encode()).hexdigest()
 
-    Entries failing to parse, carrying a different schema version or a key
-    that does not match their filename are treated as cache misses (the next
-    :meth:`put` overwrites them).
+
+@dataclass
+class CacheStats:
+    """Hit/miss/corruption/eviction tally of one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    evicted: int = 0
+    puts: int = 0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+class ResultCache:
+    """Content-addressed JSON store hardened for concurrent runners.
+
+    One file per job result, in two-level shard directories
+    (``<dir>/ab/cd/<key>.json``) so no single directory grows unbounded.
+    Writes stage through a uniquely named ``mkstemp`` file in the target
+    shard and commit with an atomic ``os.replace`` under an advisory
+    per-entry ``flock`` -- two runners sharing the directory can race on
+    the same key and the survivor is always one complete, valid entry.
+    Entries carry a sha256 checksum of their payload, verified on every
+    read; an unreadable or checksum-failing entry is *quarantined* (moved
+    to ``<dir>/corrupt/`` and counted) instead of being silently re-read
+    as a miss forever.  Entries with a different schema version are stale,
+    not corrupt, and are overwritten in place by the next put.  With a
+    size budget (``max_bytes`` or ``REPRO_CACHE_MAX_BYTES``) puts evict
+    least-recently-used entries (hits refresh mtime) back under budget.
+    All traffic is tallied in :attr:`stats` and mirrored to the profiler's
+    event counters.
     """
 
-    def __init__(self, directory: Path) -> None:
+    def __init__(self, directory: Path, max_bytes: int | None = None) -> None:
         self.directory = Path(directory)
+        if max_bytes is None:
+            raw = os.environ.get("REPRO_CACHE_MAX_BYTES")
+            max_bytes = int(raw) if raw else None
+        self.max_bytes = max_bytes
+        self.stats = CacheStats()
 
     def path_for(self, key: str) -> Path:
-        return self.directory / f"{key}.json"
+        return self.directory / key[:2] / key[2:4] / f"{key}.json"
+
+    def quarantine_dir(self) -> Path:
+        return self.directory / "corrupt"
 
     def get(self, key: str) -> dict | None:
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
+        except (FileNotFoundError, NotADirectoryError):
+            self.stats.misses += 1
+            profiling.count("cache.miss")
+            return None
         except (OSError, ValueError):
+            self._quarantine(path)
             return None
-        if not isinstance(entry, dict):
-            return None
-        if entry.get("schema") != CACHE_SCHEMA or entry.get("key") != key:
+        if not isinstance(entry, dict) or entry.get("schema") != CACHE_SCHEMA:
+            # Foreign or older-schema content is stale, not corrupt; the
+            # next put overwrites it in place.
+            self.stats.misses += 1
+            profiling.count("cache.miss")
             return None
         payload = entry.get("payload")
-        return payload if isinstance(payload, dict) else None
+        if (
+            entry.get("key") != key
+            or not isinstance(payload, dict)
+            or entry.get("checksum") != _payload_checksum(payload)
+        ):
+            self._quarantine(path)
+            return None
+        self.stats.hits += 1
+        profiling.count("cache.hit")
+        try:
+            os.utime(path)  # LRU recency for size-based eviction
+        except OSError:  # pragma: no cover - raced with an eviction
+            pass
+        return payload
 
     def put(self, key: str, payload: dict) -> None:
-        self.directory.mkdir(parents=True, exist_ok=True)
-        entry = {"schema": CACHE_SCHEMA, "key": key, "payload": payload}
         path = self.path_for(key)
-        tmp = path.with_suffix(".tmp")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(entry, handle, sort_keys=True)
-        os.replace(tmp, path)
+        shard = path.parent
+        shard.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "payload": payload,
+            "checksum": _payload_checksum(payload),
+        }
+        text = json.dumps(entry, sort_keys=True)
+        with self._locked(path):
+            fd, staging = tempfile.mkstemp(
+                dir=shard, prefix=f".{key[:8]}.", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+                os.replace(staging, path)
+            except BaseException:
+                try:
+                    os.unlink(staging)
+                except OSError:  # pragma: no cover - never committed
+                    pass
+                raise
+        self.stats.puts += 1
+        profiling.count("cache.put")
+        if self.max_bytes is not None:
+            self._evict_to_budget()
+
+    @contextmanager
+    def _locked(self, path: Path) -> Iterator[None]:
+        """Advisory per-entry write lock (no-op where flock is unavailable).
+
+        ``os.replace`` already guarantees each committed entry is complete;
+        the lock additionally serializes same-key writers so checkers never
+        observe two staging files for one entry.  Lock files are tiny and
+        deliberately never deleted (unlinking a held advisory lock file is
+        the classic two-inode race).
+        """
+        if fcntl is None:
+            yield
+            return
+        try:
+            fd = os.open(path.with_suffix(".lock"), os.O_CREAT | os.O_RDWR, 0o644)
+        except OSError:  # pragma: no cover - unwritable shard
+            yield
+            return
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            os.close(fd)  # closing drops the flock
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a damaged entry aside (counted) instead of dropping it."""
+        self.stats.corrupt += 1
+        profiling.count("cache.corrupt")
+        quarantine = self.quarantine_dir()
+        try:
+            quarantine.mkdir(parents=True, exist_ok=True)
+            target = quarantine / f"{path.name}.{os.getpid()}-{self.stats.corrupt}"
+            os.replace(path, target)
+        except OSError:  # pragma: no cover - concurrent runner won the move
+            pass
+
+    def _evict_to_budget(self) -> None:
+        """Unlink least-recently-used entries until back under ``max_bytes``."""
+        entries: list[tuple[float, int, Path]] = []
+        total = 0
+        # Quarantined files and .lock files never count against the budget:
+        # the glob only sees committed entries in two-level shards.
+        for path in self.directory.glob("??/??/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - raced with another evictor
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        if total <= self.max_bytes:
+            return
+        for _mtime, size, path in sorted(entries, key=lambda e: (e[0], str(e[2]))):
+            if total <= self.max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - raced with another evictor
+                continue
+            total -= size
+            self.stats.evicted += 1
+            profiling.count("cache.evict")
 
 
 def _resolve_cases(benchmark_names: tuple[str, ...] | None):
@@ -304,9 +471,15 @@ def _reset_worker_state(epoch: int) -> None:
 
 
 def _pool_initializer(epoch: int) -> None:
-    """Stamp a fresh pool worker with the batch's cache epoch."""
+    """Stamp a fresh pool worker with the batch's cache epoch.
+
+    Also installs any fault plan carried by the environment -- only here,
+    so chaos faults fire exclusively in pool workers and the parent's
+    deterministic in-process path stays fault-free by construction.
+    """
     global _WORKER_EPOCH
     _WORKER_EPOCH = epoch
+    faults.install_from_env()
 
 
 def _worker_cache_footprint() -> dict[str, int]:
@@ -373,12 +546,14 @@ def _run_map_job(transport: tuple) -> dict:
         rounds,
         recovery,
     ) = spec
+    faults.on_job_start(f"{benchmark}:{family_value}:{objective}:{flow}:{rounds}")
     family = LogicFamily(family_value)
     if handle is not None and (benchmark, flow) not in _OPTIMIZED_AIGS:
         try:
             _OPTIMIZED_AIGS[(benchmark, flow)] = shm.resolve_subject(handle)
         except (OSError, ValueError):
-            pass  # unreadable segment: recompute the subject from the spec
+            # Unreadable segment: recompute the subject from the spec.
+            shm.note_degraded()
     aig = _subject_aig(benchmark, flow)
     library = build_library(family)
     activity_key = (benchmark, flow, power_vectors, power_seed)
@@ -440,7 +615,13 @@ class ExperimentEngine:
     ``jobs`` is the number of worker processes (``1`` selects the
     deterministic in-process path, which parallel runs are bit-identical
     to).  ``use_cache=False`` disables the on-disk cache entirely; otherwise
-    results live under ``cache_dir`` (default: :func:`default_cache_dir`).
+    results live under ``cache_dir`` (default: :func:`default_cache_dir`)
+    bounded by ``cache_max_bytes`` (default: ``REPRO_CACHE_MAX_BYTES``,
+    unbounded when unset).  ``retry_policy`` governs the parallel batches'
+    per-job timeouts and crash/timeout retries (default:
+    :meth:`repro.experiments.resilience.RetryPolicy.from_env`); every
+    abnormal event is collected on :attr:`failures` and summarized by
+    :meth:`robustness_stats`.
     """
 
     def __init__(
@@ -448,48 +629,77 @@ class ExperimentEngine:
         jobs: int = 1,
         cache_dir: Path | str | None = None,
         use_cache: bool = True,
+        retry_policy: resilience.RetryPolicy | None = None,
+        cache_max_bytes: int | None = None,
     ) -> None:
         self.jobs = max(1, int(jobs))
+        self.retry_policy = retry_policy or resilience.RetryPolicy.from_env()
+        self.failures: list[resilience.JobFailure] = []
+        self.pool_rebuilds = 0
+        self.degraded_jobs = 0
         self.cache: ResultCache | None = None
         if use_cache:
-            self.cache = ResultCache(Path(cache_dir) if cache_dir else default_cache_dir())
+            self.cache = ResultCache(
+                Path(cache_dir) if cache_dir else default_cache_dir(),
+                max_bytes=cache_max_bytes,
+            )
+        # Unlink shared-memory segments leaked by crashed earlier runs
+        # before this one publishes its own (see shm.reap_stale_segments).
+        try:
+            shm.reap_stale_segments()
+        except OSError:  # pragma: no cover - /dev/shm in a bad state
+            pass
 
     # -- generic job scheduling ---------------------------------------------
 
     def _execute(
         self,
         worker,
-        specs: list[tuple],
-        chunksize: int = 1,
+        payloads: list[tuple],
         initializer: Callable | None = None,
         initargs: tuple = (),
+        on_result: Callable[[int, dict], None] | None = None,
     ) -> list[dict]:
-        """Run job specs through ``worker``, in processes when possible.
+        """Run job payloads through ``worker``, in processes when possible.
 
-        Falls back to the deterministic in-process path only when the pool
-        itself cannot be created or breaks (fork failure, dead workers);
-        exceptions raised *by* a job propagate unchanged so real flow
-        errors are not silently retried.  ``initializer``/``initargs`` are
-        handed to the pool (and never run on the in-process path).
+        Parallel batches go through the resilient executor: per-job
+        futures with the engine's retry policy, pool rebuild on worker
+        crashes, and per-job in-process degradation once retries are
+        exhausted (whole-batch fallback only when no pool can be created
+        at all).  Exceptions raised *by* a job propagate unchanged so real
+        flow errors are never silently retried.  ``on_result(index,
+        payload)`` fires the moment each job completes, in both the
+        parallel and the in-process paths.
         """
-        if self.jobs > 1 and len(specs) > 1:
-            try:
-                with ProcessPoolExecutor(
-                    max_workers=min(self.jobs, len(specs)),
-                    initializer=initializer,
-                    initargs=initargs,
-                ) as pool:
-                    return list(pool.map(worker, specs, chunksize=chunksize))
-            except (OSError, BrokenExecutor):
-                pass  # fall back to the in-process path
-        return [worker(spec) for spec in specs]
+        if self.jobs > 1 and len(payloads) > 1:
+            outcome = resilience.run_resilient(
+                worker,
+                payloads,
+                jobs=min(self.jobs, len(payloads)),
+                policy=self.retry_policy,
+                initializer=initializer,
+                initargs=initargs,
+                on_result=on_result,
+            )
+            self.failures.extend(outcome.failures)
+            self.pool_rebuilds += outcome.rebuilds
+            self.degraded_jobs += outcome.degraded
+            for kind, count in outcome.failure_counts().items():
+                profiling.count(f"jobs.{kind}", count)
+            return outcome.results
+        results = []
+        for index, payload_in in enumerate(payloads):
+            payload = worker(payload_in)
+            if on_result is not None:
+                on_result(index, payload)
+            results.append(payload)
+        return results
 
     def _run_jobs(
         self,
         worker,
         jobs: Sequence,
         keys: dict,
-        chunksize: int = 1,
         prepare_parallel: Callable[[list], None] | None = None,
         transport: Callable[[object], tuple] | None = None,
         initializer: Callable | None = None,
@@ -516,18 +726,42 @@ class ExperimentEngine:
         if pending:
             if prepare_parallel is not None and self.jobs > 1 and len(pending) > 1:
                 prepare_parallel(pending)
+
+            def commit(index: int, payload: dict) -> None:
+                # Committed the moment each job finishes, not at batch end:
+                # a crash later in the batch never discards finished work,
+                # and a rerun after a fatal error resumes from the cache.
+                if self.cache is not None:
+                    self.cache.put(keys[pending[index]], payload)
+
             payloads = self._execute(
                 worker,
                 [transport(job) if transport else job.spec() for job in pending],
-                chunksize=chunksize,
                 initializer=initializer,
                 initargs=initargs,
+                on_result=commit,
             )
             for job, payload in zip(pending, payloads):
-                if self.cache is not None:
-                    self.cache.put(keys[job], payload)
                 results[job] = (payload, False)
         return results
+
+    def robustness_stats(self) -> dict:
+        """Cache / transport / failure counters accumulated by this engine.
+
+        What the runner prints under ``--cache-stats`` and the chaos suite
+        serializes into the failure-classification artifact.
+        """
+        counts: dict[str, int] = {}
+        for failure in self.failures:
+            counts[failure.kind] = counts.get(failure.kind, 0) + 1
+        return {
+            "cache": self.cache.stats.as_dict() if self.cache else None,
+            "shm_degraded": shm.degraded_count(),
+            "pool_rebuilds": self.pool_rebuilds,
+            "degraded_jobs": self.degraded_jobs,
+            "failure_counts": counts,
+            "failures": [failure.as_dict() for failure in self.failures],
+        }
 
     # -- mapping jobs (Table 3 / Figure 6) ----------------------------------
 
@@ -597,22 +831,17 @@ class ExperimentEngine:
                 except OSError:
                     # No usable shared memory on this platform/filesystem:
                     # ship the bare spec and let workers recompute.
+                    shm.note_degraded()
                     continue
 
         def transport(job: MapJob) -> tuple:
             return (job.spec(), epoch, handles.get(subject_of(job)))
 
-        # Keep the family jobs of one benchmark in the same worker chunk so
-        # its per-process memo of the optimized AIG is reused across them.
-        families_per_benchmark = max(
-            1, len(jobs) // max(1, len({job.benchmark for job in jobs}))
-        )
         try:
             raw = self._run_jobs(
                 _run_map_job,
                 list(jobs),
                 keys,
-                chunksize=families_per_benchmark,
                 prepare_parallel=prepare_parallel,
                 transport=transport,
                 initializer=_pool_initializer,

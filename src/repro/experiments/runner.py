@@ -69,6 +69,22 @@ Scheduling goes through the parallel experiment engine
     (:mod:`repro.experiments.pareto`); with ``--json DIR`` the sweep is
     written as ``pareto.json``.
 
+``--job-timeout SEC`` / ``--job-retries N``
+    Fault-tolerance knobs of parallel runs (``--jobs > 1``): every mapping
+    job gets a wall-clock budget of SEC seconds (0 = unbounded, the
+    default) and is retried up to N times (default: 2) with exponential
+    backoff when its worker crashes or times out, rebuilding the process
+    pool as needed; a job that exhausts its retries is computed on the
+    deterministic in-process path instead.  Environment defaults:
+    ``REPRO_JOB_TIMEOUT`` / ``REPRO_JOB_RETRIES``.  Real flow exceptions
+    are never retried.
+
+``--cache-stats``
+    Print the robustness counters after the run as JSON: result-cache
+    hits/misses/corrupt-quarantines/evictions/puts, shared-memory
+    degradations, pool rebuilds, in-process degradations and the
+    crash/timeout failure classification.
+
 ``--profile`` / ``--profile-out PATH``
     Emit per-stage wall-clock timing (``optimize`` / ``activity`` /
     ``cuts`` / ``match`` / ``cover`` / ``recover`` / ``power`` /
@@ -87,11 +103,13 @@ import argparse
 import json
 import sys
 import time
+from dataclasses import replace
 
 from repro import profiling
 from repro.analysis.activity import DEFAULT_SEED, DEFAULT_VECTORS
 from repro.bench.registry import register_blif_benchmark
 from repro.experiments.engine import ExperimentEngine
+from repro.experiments.resilience import RetryPolicy
 from repro.flow import DEFAULT_FLOW, available_flows, get_flow
 from repro.experiments.figure6 import figure6_from_table3
 from repro.experiments.pareto import render_pareto
@@ -207,6 +225,28 @@ def main(argv: list[str] | None = None) -> int:
         "print the per-benchmark area/delay/power Pareto fronts",
     )
     parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="wall-clock budget per mapping job in parallel runs "
+        "(0 = unbounded; default: $REPRO_JOB_TIMEOUT or unbounded)",
+    )
+    parser.add_argument(
+        "--job-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="crash/timeout retries per job in parallel runs "
+        "(default: $REPRO_JOB_RETRIES or 2)",
+    )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print cache/resilience counters (hits, misses, quarantines, "
+        "evictions, retries, pool rebuilds) as JSON after the run",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="emit per-stage timing JSON (optimize/cuts/match/cover/verify) "
@@ -251,10 +291,20 @@ def main(argv: list[str] | None = None) -> int:
             print("[--profile forces --jobs 1 for in-process stage accounting]")
         profiling.enable()
 
+    retry_policy = RetryPolicy.from_env()
+    if args.job_timeout is not None:
+        timeout = args.job_timeout if args.job_timeout > 0 else None
+        retry_policy = replace(retry_policy, timeout=timeout)
+    if args.job_retries is not None:
+        if args.job_retries < 0:
+            parser.error("--job-retries must be non-negative")
+        retry_policy = replace(retry_policy, max_attempts=args.job_retries + 1)
+
     engine = ExperimentEngine(
         jobs=1 if args.profile else args.jobs,
         cache_dir=args.cache_dir,
         use_cache=False if args.profile else not args.no_cache,
+        retry_policy=retry_policy,
     )
 
     start = time.time()
@@ -307,6 +357,10 @@ def main(argv: list[str] | None = None) -> int:
             args.json, table2=table2, table3=table3, figure6=figure6, pareto=pareto
         )
         print(f"\nwrote {', '.join(str(path) for path in written)}")
+
+    if args.cache_stats:
+        print("\nrobustness counters:")
+        print(json.dumps(engine.robustness_stats(), indent=2, sort_keys=True))
 
     if args.profile:
         report = profiling.snapshot()

@@ -28,21 +28,126 @@ every published segment once the batch's pool has drained.  Platforms
 without usable POSIX shared memory simply raise ``OSError`` from
 :func:`publish_subject`; the engine then falls back to shipping bare job
 specs (workers recompute the subject, exactly the pre-transport behaviour).
+
+**Lifecycle hardening.**  Segment names carry a per-process *run nonce*
+(``repro<nonce><seq>``), so leaked segments are attributable to the run
+that created them.  The first publish registers an ``atexit`` sweeper as a
+backstop behind the engine's own ``finally`` cleanup, and
+:func:`reap_stale_segments` (called at engine start) unlinks segments left
+behind by a *crashed* publisher -- same ``repro`` prefix, different nonce,
+older than the reap age.  Attach/publish failures are tallied in a
+degraded-mode counter (:func:`degraded_count`) so chaos tests and
+``--cache-stats`` can observe how often the transport fell back to
+recompute-from-spec.
 """
 
 from __future__ import annotations
 
+import atexit
+import os
+import re
+import time
+import uuid
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
 
 import numpy as np
 
+from repro import profiling
+from repro.experiments import faults
 from repro.synthesis.aig import Aig, _Node
 from repro.synthesis.aig_array import AigArrays, arrays_from_parts
 from repro.synthesis.cuts import CutSet
 
 #: Byte alignment of every array inside a segment (covers all shipped dtypes).
 _ALIGN = 16
+
+#: Run nonce baked into every segment name created by this process.  Forked
+#: pool workers inherit it (same run); a fresh interpreter gets a new one.
+_RUN_NONCE = uuid.uuid4().hex[:8]
+
+#: Segment names: ``repro`` + 8 hex nonce chars + 4 hex sequence chars.
+#: Short enough for the most restrictive POSIX shm name limits.
+_NAME_PATTERN = re.compile(r"^repro[0-9a-f]{8}[0-9a-f]{4}$")
+
+#: Where POSIX shared memory is visible as files (Linux); reaping is a
+#: graceful no-op elsewhere.
+_SHM_DIR = Path("/dev/shm")
+
+#: Default age (seconds) past which a foreign-nonce segment is considered
+#: leaked by a crashed run; override with ``REPRO_SHM_REAP_AGE``.
+_DEFAULT_REAP_AGE = 900.0
+
+_SEQUENCE = 0
+_ATEXIT_REGISTERED = False
+
+# Degraded-mode tally: publishes/attaches that failed and fell back to the
+# recompute-from-spec path.
+_DEGRADED = 0
+
+
+def note_degraded() -> None:
+    """Record one transport degradation (failed publish or attach)."""
+    global _DEGRADED
+    _DEGRADED += 1
+    profiling.count("shm.degraded")
+
+
+def degraded_count() -> int:
+    """Times this process fell back from the shared-memory transport."""
+    return _DEGRADED
+
+
+def _create_segment(size: int) -> shared_memory.SharedMemory:
+    """A fresh nonce-named segment (retrying the rare name collision)."""
+    global _SEQUENCE
+    while True:
+        _SEQUENCE += 1
+        name = f"repro{_RUN_NONCE}{_SEQUENCE & 0xFFFF:04x}"
+        try:
+            return shared_memory.SharedMemory(create=True, name=name, size=size)
+        except FileExistsError:  # pragma: no cover - stale same-name segment
+            continue
+
+
+def _atexit_sweep() -> None:  # pragma: no cover - interpreter teardown
+    """Backstop behind the engine's ``finally``: never leak our segments."""
+    release_subjects()
+
+
+def reap_stale_segments(max_age: float | None = None) -> int:
+    """Unlink segments leaked by crashed runs; returns the count reaped.
+
+    Only names matching this module's pattern with a *different* run nonce
+    are candidates (a live concurrent run's segments are younger than the
+    reap age); our own segments are owned by :func:`release_subjects`.
+    """
+    if max_age is None:
+        raw = os.environ.get("REPRO_SHM_REAP_AGE")
+        max_age = float(raw) if raw else _DEFAULT_REAP_AGE
+    if not _SHM_DIR.is_dir():
+        return 0
+    reaped = 0
+    cutoff = time.time() - max_age
+    ours = f"repro{_RUN_NONCE}"
+    try:
+        entries = list(_SHM_DIR.iterdir())
+    except OSError:  # pragma: no cover - /dev/shm unreadable
+        return 0
+    for entry in entries:
+        if not _NAME_PATTERN.match(entry.name) or entry.name.startswith(ours):
+            continue
+        try:
+            if entry.stat().st_mtime > cutoff:
+                continue
+            entry.unlink()
+        except OSError:  # pragma: no cover - raced with another reaper
+            continue
+        reaped += 1
+    if reaped:
+        profiling.count("shm.reaped", reaped)
+    return reaped
 
 
 @dataclass(frozen=True)
@@ -105,6 +210,7 @@ def publish_subject(
     payloads).  Raises ``OSError`` when shared memory is unavailable;
     callers are expected to fall back to spec-only transport.
     """
+    global _ATEXIT_REGISTERED
     existing = _PUBLISHED.get(key)
     if existing is not None:
         _LOCAL.setdefault(key, aig)
@@ -117,7 +223,12 @@ def publish_subject(
         total = -(-total // _ALIGN) * _ALIGN
         offsets.append(total)
         total += array.nbytes
-    segment = shared_memory.SharedMemory(create=True, size=max(total, 1))
+    segment = _create_segment(max(total, 1))
+    if not _ATEXIT_REGISTERED:
+        # Backstop for publishers that die between publish and the engine's
+        # ``finally`` cleanup; idempotent with release_subjects().
+        atexit.register(_atexit_sweep)
+        _ATEXIT_REGISTERED = True
     try:
         segments = []
         for (field, array), offset in zip(payload, offsets):
@@ -152,6 +263,7 @@ _LOCAL_HANDLES: dict[str, SubjectHandle] = {}
 
 
 def _attach_views(handle: SubjectHandle) -> tuple[shared_memory.SharedMemory, dict]:
+    faults.on_shm_attach(handle.key)  # chaos harness: may raise OSError
     segment = shared_memory.SharedMemory(name=handle.shm_name)
     # Attaching registers the segment with this process's resource tracker
     # (CPython <= 3.12), which would unlink it when *this* process exits even

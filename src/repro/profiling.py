@@ -18,6 +18,7 @@ from typing import Iterator
 _active = False
 _seconds: dict[str, float] = {}
 _entries: dict[str, int] = {}
+_counters: dict[str, int] = {}
 
 
 def enable(reset: bool = True) -> None:
@@ -26,6 +27,7 @@ def enable(reset: bool = True) -> None:
     if reset:
         _seconds.clear()
         _entries.clear()
+        _counters.clear()
     _active = True
 
 
@@ -52,10 +54,24 @@ def stage(name: str) -> Iterator[None]:
         _entries[name] = _entries.get(name, 0) + 1
 
 
+def count(name: str, value: int = 1) -> None:
+    """Accumulate a named event counter when profiling is active.
+
+    Used by the robustness layer (cache hits/misses/corruptions/evictions,
+    shared-memory degradations, job retries) so ``--profile`` reports the
+    failure-path traffic next to the stage timings.  One attribute read
+    when profiling is disabled.
+    """
+    if not _active:
+        return
+    _counters[name] = _counters.get(name, 0) + value
+
+
 def snapshot() -> dict:
     """The accumulated per-stage figures (stable key order)."""
     return {
         "stages": {name: _seconds[name] for name in sorted(_seconds)},
         "entries": {name: _entries[name] for name in sorted(_entries)},
+        "counters": {name: _counters[name] for name in sorted(_counters)},
         "total_seconds": sum(_seconds.values()),
     }

@@ -31,6 +31,11 @@ def _jobs():
     return [MapJob("add-16", family) for family in FAMILIES]
 
 
+def _cache_entries(directory):
+    """Committed entries of a sharded cache directory (sorted)."""
+    return sorted(directory.glob("??/??/*.json"))
+
+
 def _stats_view(result):
     return [(row.name, row.aig_nodes, row.aig_depth, row.results) for row in result.rows]
 
@@ -110,7 +115,7 @@ class TestCache:
         engine = ExperimentEngine(cache_dir=tmp_path)
         first = engine.run_map_jobs(_jobs())
         assert all(not result.cached for result in first.values())
-        assert list(tmp_path.glob("*.json"))
+        assert _cache_entries(tmp_path)
 
         again = ExperimentEngine(cache_dir=tmp_path).run_map_jobs(_jobs())
         assert all(result.cached for result in again.values())
@@ -121,13 +126,17 @@ class TestCache:
     def test_corrupted_entries_are_recomputed(self, tmp_path):
         engine = ExperimentEngine(cache_dir=tmp_path)
         engine.run_map_jobs(_jobs())
-        entries = sorted(tmp_path.glob("*.json"))
+        entries = _cache_entries(tmp_path)
         entries[0].write_text("{ this is not json")
         entries[1].write_text(json.dumps({"schema": CACHE_SCHEMA + 999, "key": "x", "payload": {}}))
 
-        redone = ExperimentEngine(cache_dir=tmp_path).run_map_jobs(_jobs())
+        redo_engine = ExperimentEngine(cache_dir=tmp_path)
+        redone = redo_engine.run_map_jobs(_jobs())
         assert sum(1 for result in redone.values() if not result.cached) == 2
-        # The corrupted files were overwritten with valid entries.
+        # The unreadable entry was quarantined, the stale-schema one was a miss.
+        assert redo_engine.cache.stats.corrupt == 1
+        assert len(list(redo_engine.cache.quarantine_dir().iterdir())) == 1
+        # The corrupted files were replaced with valid entries.
         fresh = ExperimentEngine(cache_dir=tmp_path).run_map_jobs(_jobs())
         assert all(result.cached for result in fresh.values())
 
@@ -135,13 +144,15 @@ class TestCache:
         cache = ResultCache(tmp_path)
         cache.put("a" * 64, {"stats": {}})
         # Rename the entry so its embedded key no longer matches the filename.
-        (tmp_path / ("a" * 64 + ".json")).rename(tmp_path / ("b" * 64 + ".json"))
+        target = cache.path_for("b" * 64)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for("a" * 64).rename(target)
         assert cache.get("b" * 64) is None
 
     def test_disabled_cache_writes_nothing(self, tmp_path):
         engine = ExperimentEngine(cache_dir=tmp_path, use_cache=False)
         engine.run_map_jobs(_jobs())
-        assert not list(tmp_path.glob("*.json"))
+        assert not _cache_entries(tmp_path)
 
     def test_cached_flow_does_not_satisfy_other_flows(self, tmp_path):
         # A cached resyn2rs result must not be served for a quick request.
@@ -160,6 +171,110 @@ class TestCache:
         monkeypatch.delenv("REPRO_CACHE_DIR")
         monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
         assert default_cache_dir() == tmp_path / "xdg" / "repro" / "experiments"
+
+
+class TestCacheHardening:
+    """The hardened ResultCache: sharding, checksums, quarantine, eviction."""
+
+    def test_entries_live_in_two_level_shards(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "deadbeef" * 8
+        cache.put(key, {"value": 1})
+        assert cache.path_for(key) == tmp_path / "de" / "ad" / f"{key}.json"
+        assert cache.path_for(key).exists()
+        assert cache.get(key) == {"value": 1}
+        assert cache.stats.hits == 1 and cache.stats.puts == 1
+
+    def test_concurrent_same_key_puts_keep_entry_valid(self, tmp_path):
+        # Regression for the shared ".tmp" staging-file collision: many
+        # writers racing on one key must never leave a truncated entry or
+        # stray staging files behind.
+        import threading
+
+        cache = ResultCache(tmp_path)
+        key = "ab" * 32
+        observed = []
+
+        def writer(worker):
+            local = ResultCache(tmp_path)
+            for i in range(25):
+                local.put(key, {"worker": worker, "i": i})
+                observed.append(local.get(key))
+
+        threads = [threading.Thread(target=writer, args=(w,)) for w in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(isinstance(payload, dict) for payload in observed)
+        assert cache.stats.corrupt == 0
+        assert isinstance(cache.get(key), dict)
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_checksum_mismatch_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" * 32
+        cache.put(key, {"value": 1})
+        path = cache.path_for(key)
+        entry = json.loads(path.read_text())
+        entry["payload"]["value"] = 2  # tamper without updating the checksum
+        path.write_text(json.dumps(entry))
+
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+        assert not path.exists()  # moved aside, not left to fail forever
+        assert len(list(cache.quarantine_dir().iterdir())) == 1
+        # The follow-up read is a plain miss, not another corruption event.
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1 and cache.stats.misses == 1
+
+    def test_stale_schema_is_a_miss_not_corruption(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ef" * 32
+        cache.put(key, {"value": 1})
+        path = cache.path_for(key)
+        path.write_text(json.dumps({"schema": CACHE_SCHEMA - 1, "key": key,
+                                    "payload": {}, "checksum": "x"}))
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 0 and cache.stats.misses == 1
+        assert path.exists()  # left in place for the next put to overwrite
+
+    def test_size_budget_evicts_least_recently_used(self, tmp_path):
+        import os as _os
+
+        cache = ResultCache(tmp_path)  # no budget while seeding
+        keys = [f"{i:02x}" * 32 for i in range(4)]
+        for stamp, key in enumerate(keys):
+            cache.put(key, {"value": key})
+            _os.utime(cache.path_for(key), (100.0 + stamp, 100.0 + stamp))
+        entry_size = cache.path_for(keys[0]).stat().st_size
+        # A freshly read entry becomes most-recent and must survive.
+        assert cache.get(keys[0]) is not None
+
+        bounded = ResultCache(tmp_path, max_bytes=3 * entry_size + 1)
+        bounded.put("ff" * 32, {"value": "new"})
+        assert bounded.stats.evicted == 2
+        survivors = {p.name for p in _cache_entries(tmp_path)}
+        assert f"{keys[0]}.json" in survivors  # refreshed by the hit above
+        assert f"{keys[1]}.json" not in survivors
+        assert f"{keys[2]}.json" not in survivors
+        assert f"{'ff' * 32}.json" in survivors
+
+    def test_cache_events_mirrored_to_profiler_counters(self, tmp_path):
+        from repro import profiling
+
+        cache = ResultCache(tmp_path)
+        profiling.enable()
+        try:
+            cache.put("aa" * 32, {"value": 1})
+            cache.get("aa" * 32)
+            cache.get("bb" * 32)
+            counters = profiling.snapshot()["counters"]
+        finally:
+            profiling.disable()
+        assert counters["cache.put"] == 1
+        assert counters["cache.hit"] == 1
+        assert counters["cache.miss"] == 1
 
 
 class TestParallelExecution:
@@ -220,7 +335,7 @@ class TestTable2Jobs:
     def test_characterization_cache_round_trip(self, tmp_path):
         engine = ExperimentEngine(cache_dir=tmp_path)
         first = engine.run_table2()
-        assert list(tmp_path.glob("*.json"))
+        assert _cache_entries(tmp_path)
         second = ExperimentEngine(cache_dir=tmp_path).run_table2()
         assert first.summaries == second.summaries
         assert first.rows == second.rows

@@ -26,8 +26,8 @@ class TestRunnerCli:
         assert "Figure 6" in captured
         assert "add-16" in captured
         assert "[ok]" in captured
-        # The run populated the content-addressed cache.
-        assert list(tmp_path.glob("*.json"))
+        # The run populated the content-addressed cache (sharded layout).
+        assert list(tmp_path.glob("??/??/*.json"))
 
     def test_parallel_jobs_and_json_artifacts(self, capsys, tmp_path):
         artifacts = tmp_path / "artifacts"
@@ -82,13 +82,13 @@ class TestRunnerCli:
         assert "add-16" in captured
         # The artifact records which flow produced it.
         assert json.loads((artifacts / "table3.json").read_text())["flow"] == "quick"
-        quick_entries = set(tmp_path.glob("*.json"))
+        quick_entries = set(tmp_path.glob("??/??/*.json"))
         assert quick_entries
         exit_code = main(["add-16", "--cache-dir", str(tmp_path)])
         capsys.readouterr()
         assert exit_code == 0
         # The default resyn2rs run added new cache entries of its own.
-        assert set(tmp_path.glob("*.json")) > quick_entries
+        assert set(tmp_path.glob("??/??/*.json")) > quick_entries
 
     def test_unknown_flow_rejected(self):
         with pytest.raises(KeyError):
@@ -123,6 +123,25 @@ class TestRunnerCli:
     def test_negative_map_rounds_rejected(self):
         with pytest.raises(SystemExit):
             main(["--map-rounds", "-1", "--no-cache"])
+
+    def test_cache_stats_and_retry_flags(self, capsys, tmp_path):
+        exit_code = main(
+            ["add-16", "--cache-dir", str(tmp_path), "--cache-stats",
+             "--job-timeout", "120", "--job-retries", "1"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "robustness counters:" in captured
+        blob = captured.split("robustness counters:", 1)[1]
+        stats = json.loads(blob[: blob.index("\n}") + 2])
+        assert stats["cache"]["puts"] > 0
+        assert stats["cache"]["corrupt"] == 0
+        assert stats["pool_rebuilds"] == 0
+        assert stats["failures"] == []
+
+    def test_negative_job_retries_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--job-retries", "-1", "--no-cache"])
 
     def test_extra_benchmark_flows_through_the_runner(self, capsys, tmp_path):
         from repro.bench.registry import benchmark_by_name, unregister_benchmark
