@@ -8,6 +8,7 @@ in any one stage are visible in isolation.
 
 import pytest
 
+from repro import obs, profiling
 from repro.bench.generators.adders import ripple_adder_circuit
 from repro.bench.generators.multiplier import array_multiplier_circuit
 from repro.core.families import LogicFamily, build_family_cells
@@ -72,3 +73,25 @@ def test_bench_mapping_only(benchmark, multiplier_aig, libraries, matchers):
     matcher = matchers[LogicFamily.TG_STATIC]
     mapped = benchmark(technology_map, multiplier_aig, library, matcher)
     assert mapped.gate_count > 0
+
+
+def test_bench_obs_disabled_overhead(benchmark):
+    """The observability off-path across 1000 instrumented sections.
+
+    Every pipeline stage / mapper round / flow pass runs through these call
+    sites unconditionally, so the disabled path (one module-attribute read
+    each) must stay effectively free -- this pins it in seconds per 1000
+    stage+span+count triples.
+    """
+    obs.reset()  # both modes off: measure the path production runs on
+    assert not obs.tracing_active() and not profiling.active()
+
+    def hot_loop():
+        for _ in range(1000):
+            with profiling.stage("bench-stage"):
+                with obs.span("bench-span", category="task"):
+                    profiling.count("bench-counter")
+
+    benchmark(hot_loop)
+    assert obs.spans() == []  # disabled: nothing may have been recorded
+    assert obs.counters() == {}

@@ -1,0 +1,103 @@
+"""Trace a small parallel run and explore where the time went.
+
+Demonstrates the observability layer (``repro.obs``; see "Observability"
+in ``ARCHITECTURE.md``):
+
+1. run a small Table-3 subset through the runner CLI with ``--trace`` /
+   ``--metrics-out`` / ``--events-out`` on two worker processes;
+2. load the Chrome trace-event file back and show the per-process tracks
+   (the parent's scheduling/cache spans plus one track per worker) --
+   the same file opens in Perfetto or ``about:tracing``;
+3. read the metrics report and print the latency percentiles, the five
+   spans with the largest self time and the slowest individual jobs.
+
+Run with:  python examples/trace_explorer.py
+"""
+
+import json
+import tempfile
+from collections import Counter
+from pathlib import Path
+
+from repro.experiments.runner import main as runner_main
+
+SUBSET = ("add-16", "add-32")
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-trace-"))
+    trace_path = workdir / "trace.json"
+    metrics_path = workdir / "metrics.json"
+    events_path = workdir / "events.jsonl"
+
+    print("=== traced run (two workers) ===")
+    runner_main(
+        [
+            *SUBSET,
+            "--jobs",
+            "2",
+            "--cache-dir",
+            str(workdir / "cache"),
+            "--trace",
+            str(trace_path),
+            "--metrics-out",
+            str(metrics_path),
+            "--events-out",
+            str(events_path),
+        ]
+    )
+
+    trace = json.loads(trace_path.read_text())
+    events = trace["traceEvents"]
+    tracks = {
+        event["pid"]: event["args"]["name"]
+        for event in events
+        if event["ph"] == "M"
+    }
+    spans_per_track = Counter(
+        tracks[event["pid"]] for event in events if event["ph"] == "X"
+    )
+    print("\n=== process tracks ===")
+    for name in sorted(spans_per_track):
+        print(f"  {name:<16} {spans_per_track[name]:>4} spans")
+    print(f"(open {trace_path} in Perfetto / about:tracing to see them)")
+
+    metrics = json.loads(metrics_path.read_text())
+    jobs = metrics["histograms"]["job_latency_ms"]
+    print("\n=== job latency (ms) ===")
+    print(
+        f"  executed {metrics['jobs']['executed']}, cached "
+        f"{metrics['jobs']['cached']}, cache hit rate "
+        f"{metrics['cache']['hit_rate']:.0%}"
+    )
+    if jobs["count"]:
+        print(
+            f"  p50 {jobs['p50']:.1f}  p90 {jobs['p90']:.1f}  "
+            f"p99 {jobs['p99']:.1f}  max {jobs['max']:.1f}"
+        )
+
+    print("\n=== top 5 spans by self time ===")
+    for row in metrics["top_spans_by_self_time"]:
+        print(
+            f"  {row['self_ms']:>8.1f} ms  {row['category']:<7} "
+            f"{row['name']}  (pid {row['pid']})"
+        )
+
+    job_spans = sorted(
+        (
+            line
+            for line in map(json.loads, events_path.read_text().splitlines())
+            if line["type"] == "span" and line["category"] == "job"
+        ),
+        key=lambda line: -line["duration_us"],
+    )
+    print("\n=== slowest jobs ===")
+    for line in job_spans[:5]:
+        print(
+            f"  {line['duration_us'] / 1000:>8.1f} ms  {line['name']}"
+            f"  (worker {line['pid']})"
+        )
+
+
+if __name__ == "__main__":
+    main()

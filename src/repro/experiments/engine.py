@@ -78,7 +78,7 @@ from repro.experiments.table3 import (
     Table3Row,
     _paper_row,
 )
-from repro import profiling
+from repro import obs, profiling
 from repro.experiments import faults, resilience, shm
 from repro.flow import DEFAULT_FLOW, get_flow, resolve_flow, run_flow
 from repro.synthesis.aig import Aig
@@ -212,6 +212,10 @@ class MapJob:
             self.recovery,
         )
 
+    def label(self) -> str:
+        """Human-readable identity used by spans and the progress line."""
+        return f"{self.benchmark}:{self.family.value}:{self.objective}"
+
 
 @dataclass(frozen=True)
 class MapJobResult:
@@ -233,6 +237,9 @@ class CharacterizationJob:
 
     def spec(self) -> tuple:
         return (self.family.value,)
+
+    def label(self) -> str:
+        return f"table2:{self.family.value}"
 
 
 def _payload_checksum(payload: dict) -> str:
@@ -416,6 +423,12 @@ class ResultCache:
             profiling.count("cache.evict")
 
 
+def _job_label(job) -> str:
+    """Span/progress label of a job (falls back to the class name)."""
+    label = getattr(job, "label", None)
+    return label() if callable(label) else type(job).__name__
+
+
 def _resolve_cases(benchmark_names: tuple[str, ...] | None):
     """The benchmark cases, optionally restricted to a subset.
 
@@ -470,15 +483,20 @@ def _reset_worker_state(epoch: int) -> None:
     _WORKER_EPOCH = epoch
 
 
-def _pool_initializer(epoch: int) -> None:
+def _pool_initializer(epoch: int, obs_config: dict | None = None) -> None:
     """Stamp a fresh pool worker with the batch's cache epoch.
 
     Also installs any fault plan carried by the environment -- only here,
     so chaos faults fire exclusively in pool workers and the parent's
-    deterministic in-process path stays fault-free by construction.
+    deterministic in-process path stays fault-free by construction -- and
+    adopts the parent's observability switches (``obs_config``, see
+    :func:`repro.obs.worker_config`): the worker clears any span buffer it
+    inherited through ``fork`` and starts buffering telemetry per job for
+    shipment back inside the payloads.
     """
     global _WORKER_EPOCH
     _WORKER_EPOCH = epoch
+    obs.activate_worker(obs_config)
     faults.install_from_env()
 
 
@@ -523,6 +541,20 @@ def _subject_aig(benchmark: str, flow: str) -> Aig:
     return cached
 
 
+def _attach_obs(payload: dict) -> dict:
+    """Ship this worker's buffered telemetry back inside the job payload.
+
+    A no-op in the parent (in-process jobs record straight into the global
+    buffer) and in disabled workers; the parent strips the blob before the
+    payload reaches the result cache or the decoded results.
+    """
+    if obs.remote_active():
+        blob = obs.drain_worker_blob()
+        if blob is not None:
+            payload["obs"] = blob
+    return payload
+
+
 def _run_map_job(transport: tuple) -> dict:
     """Execute one mapping job (worker-side; must stay picklable/pure).
 
@@ -548,65 +580,84 @@ def _run_map_job(transport: tuple) -> dict:
     ) = spec
     faults.on_job_start(f"{benchmark}:{family_value}:{objective}:{flow}:{rounds}")
     family = LogicFamily(family_value)
-    if handle is not None and (benchmark, flow) not in _OPTIMIZED_AIGS:
-        try:
-            _OPTIMIZED_AIGS[(benchmark, flow)] = shm.resolve_subject(handle)
-        except (OSError, ValueError):
-            # Unreadable segment: recompute the subject from the spec.
-            shm.note_degraded()
-    aig = _subject_aig(benchmark, flow)
-    library = build_library(family)
-    activity_key = (benchmark, flow, power_vectors, power_seed)
-    activities = _ACTIVITY_REPORTS.get(activity_key)
-    if activities is None:
-        with profiling.stage("activity"):
-            activities = compute_activities(
-                aig, vectors=power_vectors, seed=power_seed
-            )
-        _ACTIVITY_REPORTS[activity_key] = activities
-    mapped = technology_map(
-        aig,
-        library,
-        matcher=matcher_for(library),
+    with obs.span(
+        f"job:{benchmark}:{family_value}:{objective}",
+        category="job",
+        benchmark=benchmark,
+        family=family_value,
         objective=objective,
-        max_inputs=max_inputs,
-        cut_limit=cut_limit,
-        activities=activities,
+        flow=flow,
         rounds=rounds,
-        recovery=recovery,
-    )
-    with profiling.stage("power"):
-        power = analyze_power(mapped, aig, library, activities)
-    if profiling.active():
-        # Attribution-only stage: check the mapped netlist against the
-        # subject AIG on a deterministic packed pattern set so ``--profile``
-        # reports where verification time would go.
-        import random
+    ) as job_span:
+        if handle is not None and (benchmark, flow) not in _OPTIMIZED_AIGS:
+            try:
+                _OPTIMIZED_AIGS[(benchmark, flow)] = shm.resolve_subject(handle)
+                job_span.set("shm_subject", handle.key)
+            except (OSError, ValueError):
+                # Unreadable segment: recompute the subject from the spec.
+                shm.note_degraded()
+        aig = _subject_aig(benchmark, flow)
+        job_span.set("aig_nodes", aig.num_ands)
+        library = build_library(family)
+        activity_key = (benchmark, flow, power_vectors, power_seed)
+        activities = _ACTIVITY_REPORTS.get(activity_key)
+        if activities is None:
+            with profiling.stage("activity"):
+                activities = compute_activities(
+                    aig, vectors=power_vectors, seed=power_seed
+                )
+            _ACTIVITY_REPORTS[activity_key] = activities
+        mapped = technology_map(
+            aig,
+            library,
+            matcher=matcher_for(library),
+            objective=objective,
+            max_inputs=max_inputs,
+            cut_limit=cut_limit,
+            activities=activities,
+            rounds=rounds,
+            recovery=recovery,
+        )
+        with profiling.stage("power"):
+            power = analyze_power(mapped, aig, library, activities)
+        if profiling.active():
+            # Attribution-only stage: check the mapped netlist against the
+            # subject AIG on a deterministic packed pattern set so
+            # ``--profile`` reports where verification time would go.
+            import random
 
-        seed = random.Random(f"profile:{aig.name}")
-        patterns = {
-            name: [seed.getrandbits(64) for _ in range(2)] for name in aig.pi_names
+            seed = random.Random(f"profile:{aig.name}")
+            patterns = {
+                name: [seed.getrandbits(64) for _ in range(2)]
+                for name in aig.pi_names
+            }
+            with profiling.stage("verify"):
+                if not verify_mapping(mapped, aig, patterns):  # pragma: no cover
+                    raise RuntimeError(
+                        f"mapped netlist of {aig.name!r} failed verification"
+                    )
+        payload = {
+            "stats": asdict(MappingStats.from_mapped(mapped)),
+            "power": asdict(PowerStats.from_analysis(power)),
+            "aig_nodes": aig.num_ands,
+            "aig_depth": aig.depth(),
         }
-        with profiling.stage("verify"):
-            if not verify_mapping(mapped, aig, patterns):  # pragma: no cover
-                raise RuntimeError(f"mapped netlist of {aig.name!r} failed verification")
-    return {
-        "stats": asdict(MappingStats.from_mapped(mapped)),
-        "power": asdict(PowerStats.from_analysis(power)),
-        "aig_nodes": aig.num_ands,
-        "aig_depth": aig.depth(),
-    }
+    return _attach_obs(payload)
 
 
 def _run_characterization_job(spec: tuple) -> dict:
     """Execute one Table-2 characterization job (worker-side)."""
     (family_value,) = spec
-    library = build_library(LogicFamily(family_value))
-    rows, summary = characterize_family(library)
-    return {
-        "rows": [asdict(row) for row in rows],
-        "summary": asdict(summary),
-    }
+    with obs.span(
+        f"job:table2:{family_value}", category="job", family=family_value
+    ):
+        library = build_library(LogicFamily(family_value))
+        rows, summary = characterize_family(library)
+        payload = {
+            "rows": [asdict(row) for row in rows],
+            "summary": asdict(summary),
+        }
+    return _attach_obs(payload)
 
 
 class ExperimentEngine:
@@ -621,7 +672,10 @@ class ExperimentEngine:
     per-job timeouts and crash/timeout retries (default:
     :meth:`repro.experiments.resilience.RetryPolicy.from_env`); every
     abnormal event is collected on :attr:`failures` and summarized by
-    :meth:`robustness_stats`.
+    :meth:`robustness_stats`.  ``progress`` is an optional
+    :class:`repro.obs.LiveProgress` fed from the completion callbacks
+    (cache hits, per-job commits, resilience failures) -- the live stderr
+    line of parallel runs.
     """
 
     def __init__(
@@ -631,8 +685,10 @@ class ExperimentEngine:
         use_cache: bool = True,
         retry_policy: resilience.RetryPolicy | None = None,
         cache_max_bytes: int | None = None,
+        progress: "obs.LiveProgress | None" = None,
     ) -> None:
         self.jobs = max(1, int(jobs))
+        self.progress = progress
         self.retry_policy = retry_policy or resilience.RetryPolicy.from_env()
         self.failures: list[resilience.JobFailure] = []
         self.pool_rebuilds = 0
@@ -680,12 +736,16 @@ class ExperimentEngine:
                 initializer=initializer,
                 initargs=initargs,
                 on_result=on_result,
+                on_failure=(
+                    (lambda failure: self.progress.job_failed(
+                        failure.kind, failure.resolution))
+                    if self.progress is not None
+                    else None
+                ),
             )
             self.failures.extend(outcome.failures)
             self.pool_rebuilds += outcome.rebuilds
             self.degraded_jobs += outcome.degraded
-            for kind, count in outcome.failure_counts().items():
-                profiling.count(f"jobs.{kind}", count)
             return outcome.results
         results = []
         for index, payload_in in enumerate(payloads):
@@ -715,11 +775,23 @@ class ExperimentEngine:
         ``spec()``); it runs after ``prepare_parallel`` so it can embed
         handles to state published there.
         """
+        if self.progress is not None:
+            self.progress.start_batch(len(jobs))
         results: dict = {}
         pending = []
         for job in jobs:
             payload = self.cache.get(keys[job]) if self.cache else None
             if payload is not None:
+                # Synthesized span: a hit executes nothing, but the trace
+                # must still attribute the job to the cache (the service
+                # telemetry's hit-rate view reads these).
+                obs.add_span(
+                    f"cache-hit:{_job_label(job)}",
+                    "cache",
+                    key=keys[job],
+                )
+                if self.progress is not None:
+                    self.progress.job_cached()
                 results[job] = (payload, True)
             else:
                 pending.append(job)
@@ -728,6 +800,13 @@ class ExperimentEngine:
                 prepare_parallel(pending)
 
             def commit(index: int, payload: dict) -> None:
+                # Worker-side telemetry rides back inside the payload; fold
+                # it into the parent's buffer and strip it before the
+                # payload is cached or decoded (observability must never
+                # leak into content-addressed artifacts).
+                obs.merge_blob(payload.pop("obs", None))
+                if self.progress is not None:
+                    self.progress.job_done()
                 # Committed the moment each job finishes, not at batch end:
                 # a crash later in the batch never discards finished work,
                 # and a rerun after a fatal error resumes from the cache.
@@ -809,44 +888,50 @@ class ExperimentEngine:
             # Build every required library matcher before the pool forks so
             # worker processes inherit the warm caches instead of each paying
             # the (expensive) matcher construction on their own.
-            for family in {job.family for job in pending}:
-                matcher_for(build_library(family))
-            # Publish each distinct optimized subject (flow output plus
-            # enumerated cuts) into shared memory once, keyed by its
-            # content-addressed structure hash, so every worker maps the
-            # same buffers instead of re-running the flow per process.
-            for benchmark, flow, max_inputs, cut_limit in sorted(
-                {subject_of(job) for job in pending}
+            with obs.span(
+                "prepare-parallel", category="engine", pending=len(pending)
             ):
-                try:
-                    aig = _subject_aig(benchmark, flow)
-                    handles[(benchmark, flow, max_inputs, cut_limit)] = (
-                        shm.publish_subject(
-                            f"{aig_fingerprint(aig)}:{max_inputs}:{cut_limit}",
-                            aig,
-                            aig_arrays(aig),
-                            cut_set_for(aig, max_inputs, cut_limit),
+                for family in {job.family for job in pending}:
+                    matcher_for(build_library(family))
+                # Publish each distinct optimized subject (flow output plus
+                # enumerated cuts) into shared memory once, keyed by its
+                # content-addressed structure hash, so every worker maps the
+                # same buffers instead of re-running the flow per process.
+                for benchmark, flow, max_inputs, cut_limit in sorted(
+                    {subject_of(job) for job in pending}
+                ):
+                    try:
+                        aig = _subject_aig(benchmark, flow)
+                        handles[(benchmark, flow, max_inputs, cut_limit)] = (
+                            shm.publish_subject(
+                                f"{aig_fingerprint(aig)}:{max_inputs}:{cut_limit}",
+                                aig,
+                                aig_arrays(aig),
+                                cut_set_for(aig, max_inputs, cut_limit),
+                            )
                         )
-                    )
-                except OSError:
-                    # No usable shared memory on this platform/filesystem:
-                    # ship the bare spec and let workers recompute.
-                    shm.note_degraded()
-                    continue
+                    except OSError:
+                        # No usable shared memory on this platform/filesystem:
+                        # ship the bare spec and let workers recompute.
+                        shm.note_degraded()
+                        continue
 
         def transport(job: MapJob) -> tuple:
             return (job.spec(), epoch, handles.get(subject_of(job)))
 
         try:
-            raw = self._run_jobs(
-                _run_map_job,
-                list(jobs),
-                keys,
-                prepare_parallel=prepare_parallel,
-                transport=transport,
-                initializer=_pool_initializer,
-                initargs=(epoch,),
-            )
+            with obs.span(
+                "run_map_jobs", category="engine", jobs=len(jobs), epoch=epoch
+            ):
+                raw = self._run_jobs(
+                    _run_map_job,
+                    list(jobs),
+                    keys,
+                    prepare_parallel=prepare_parallel,
+                    transport=transport,
+                    initializer=_pool_initializer,
+                    initargs=(epoch, obs.worker_config()),
+                )
         finally:
             shm.release_subjects()
             # Bound per-process memory across repeated large-benchmark runs:
@@ -955,7 +1040,14 @@ class ExperimentEngine:
         """Regenerate Table 2 through the job engine."""
         jobs = [CharacterizationJob(family) for family in families]
         keys = {job: self.characterization_job_key(job) for job in jobs}
-        raw = self._run_jobs(_run_characterization_job, jobs, keys)
+        with obs.span("run_table2", category="engine", jobs=len(jobs)):
+            raw = self._run_jobs(
+                _run_characterization_job,
+                jobs,
+                keys,
+                initializer=_pool_initializer,
+                initargs=(_CACHE_EPOCH, obs.worker_config()),
+            )
 
         rows: dict[LogicFamily, tuple[CellCharacterization, ...]] = {}
         summaries: dict[LogicFamily, FamilySummary] = {}

@@ -50,6 +50,8 @@ from dataclasses import dataclass, field
 from random import Random
 from typing import Callable, Sequence
 
+from repro import obs, profiling
+
 #: Failure kinds recorded in :class:`JobFailure` (the taxonomy).
 CRASH = "crash"
 TIMEOUT = "timeout"
@@ -198,15 +200,22 @@ def run_resilient(
     initializer: Callable | None = None,
     initargs: tuple = (),
     on_result: Callable[[int, object], None] | None = None,
+    on_failure: Callable[[JobFailure], None] | None = None,
 ) -> BatchOutcome:
     """Run ``worker`` over ``payloads`` with per-job retries and timeouts.
 
     Results are returned in payload order regardless of completion order;
     ``on_result(index, payload)`` fires the moment each job finishes (pool
-    or in-process), so callers can commit completed work immediately.
-    Exceptions raised *by* a job propagate unchanged after the pool is shut
-    down; crashes and timeouts are retried per ``policy`` and degrade to
-    the in-process path once exhausted.
+    or in-process), so callers can commit completed work immediately, and
+    ``on_failure(failure)`` fires the moment each abnormal event is
+    recorded (live progress reporting).  Exceptions raised *by* a job
+    propagate unchanged after the pool is shut down; crashes and timeouts
+    are retried per ``policy`` and degrade to the in-process path once
+    exhausted.  Every failure is mirrored to the profiler/tracer event
+    counters (``jobs.crash`` / ``jobs.timeout`` / ``jobs.retry`` /
+    ``jobs.degraded_inprocess`` and the ``jobs.backoff_seconds`` total) and
+    recorded as a tracer event, so ``--profile`` and ``--trace`` both see
+    the failure-path traffic.
     """
     policy = policy or RetryPolicy()
     payloads = list(payloads)
@@ -247,15 +256,28 @@ def run_resilient(
 
     def settle_failure(index: int, kind: str, message: str) -> None:
         attempt = attempts[index]
+        profiling.count(f"jobs.{kind}")
         if attempt >= policy.max_attempts:
-            outcome.failures.append(
-                JobFailure(index, kind, attempt, message, "in-process")
-            )
+            failure = JobFailure(index, kind, attempt, message, "in-process")
+            outcome.failures.append(failure)
+            profiling.count("jobs.degraded_inprocess")
+            obs.event(f"job.{kind}", index=index, attempt=attempt,
+                      resolution="in-process")
+            if on_failure is not None:
+                on_failure(failure)
             outcome.degraded += 1
             run_in_process(index)
         else:
-            outcome.failures.append(JobFailure(index, kind, attempt, message, "retry"))
-            due = time.monotonic() + backoff_delay(policy, index, attempt)
+            failure = JobFailure(index, kind, attempt, message, "retry")
+            outcome.failures.append(failure)
+            delay = backoff_delay(policy, index, attempt)
+            profiling.count("jobs.retry")
+            profiling.count("jobs.backoff_seconds", delay)
+            obs.event(f"job.{kind}", index=index, attempt=attempt,
+                      resolution="retry", backoff_seconds=delay)
+            if on_failure is not None:
+                on_failure(failure)
+            due = time.monotonic() + delay
             heapq.heappush(timers, (due, index))
 
     def rebuild_pool() -> None:

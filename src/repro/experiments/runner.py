@@ -91,21 +91,48 @@ Scheduling goes through the parallel experiment engine
     ``verify``) as JSON -- to
     stdout with ``--profile``, to PATH with ``--profile-out`` (which implies
     ``--profile``) -- so performance work can attribute wins per pipeline
-    stage.  Profiling forces ``--jobs 1`` and disables the result cache:
-    stage accounting lives in the worker process and cached jobs skip every
-    stage, so neither parallel nor cached runs would produce attributable
-    numbers.
+    stage.  Profiling disables the result cache (cached jobs skip every
+    stage, so a warm run would produce no attributable numbers) but works
+    at any ``--jobs`` count: workers ship their per-stage snapshots back
+    inside the job payloads and the parent merges them, so a ``--jobs 4``
+    profile reports the same stage entries as a sequential one.
+
+``--trace PATH``
+    Record the run through the hierarchical span tracer
+    (:mod:`repro.obs`) and export it as a Chrome trace-event JSON file --
+    load PATH in Perfetto or ``about:tracing`` to see the run laid out as
+    one track per process: the parent's scheduling/cache spans plus every
+    worker's job -> pass -> round -> stage hierarchy.  Unlike
+    ``--profile``, tracing composes with the cache (hits appear as
+    synthesized ``cache-hit`` spans) and with ``--jobs N``, and never
+    changes the computed artifacts.
+
+``--metrics-out PATH``
+    Write the run metrics report (implies tracing): log-bucketed latency
+    histograms with p50/p90/p99 for jobs and flow passes, per-stage time
+    totals, cache hit rate, retry/crash/timeout counts and the top spans
+    by self time, plus the full robustness counters.
+
+``--events-out PATH``
+    Write the structured JSONL event log (implies tracing): one JSON
+    object per line -- run envelope, spans, point events -- every line
+    tagged with the run id (``$REPRO_RUN_ID`` overrides the generated id).
+
+Parallel runs additionally render a live one-line stderr progress report
+(jobs done / cached / retried / degraded and the running cache hit rate)
+when stderr is a terminal; ``REPRO_LIVE=1``/``0`` forces it on/off.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from dataclasses import replace
 
-from repro import profiling
+from repro import obs, profiling
 from repro.analysis.activity import DEFAULT_SEED, DEFAULT_VECTORS
 from repro.bench.registry import register_blif_benchmark
 from repro.experiments.engine import ExperimentEngine
@@ -250,13 +277,34 @@ def main(argv: list[str] | None = None) -> int:
         "--profile",
         action="store_true",
         help="emit per-stage timing JSON (optimize/cuts/match/cover/verify) "
-        "to stdout; implies --jobs 1 and --no-cache",
+        "to stdout; implies --no-cache, works at any --jobs count",
     )
     parser.add_argument(
         "--profile-out",
         metavar="PATH",
         default=None,
         help="write the per-stage timing JSON to PATH (implies --profile)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record the run with the span tracer and write a Chrome "
+        "trace-event JSON file (open in Perfetto / about:tracing)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the run metrics report (latency percentiles, cache hit "
+        "rate, failure counts) as JSON; implies tracing",
+    )
+    parser.add_argument(
+        "--events-out",
+        metavar="PATH",
+        default=None,
+        help="write the structured JSONL event log of the run; implies "
+        "tracing",
     )
     args = parser.parse_args(argv)
     if args.profile_out is not None:
@@ -286,9 +334,12 @@ def main(argv: list[str] | None = None) -> int:
     if extra_names:
         print(f"[extra benchmarks: {', '.join(extra_names)}]")
 
+    # Tracing first: enable_profile() preserves a live trace buffer, so the
+    # order makes --profile --trace share one coherent recording.
+    trace_run_id = None
+    if args.trace or args.metrics_out or args.events_out:
+        trace_run_id = obs.enable_tracing()
     if args.profile:
-        if args.jobs != 1:
-            print("[--profile forces --jobs 1 for in-process stage accounting]")
         profiling.enable()
 
     retry_policy = RetryPolicy.from_env()
@@ -300,57 +351,82 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("--job-retries must be non-negative")
         retry_policy = replace(retry_policy, max_attempts=args.job_retries + 1)
 
+    progress = None
+    if args.jobs > 1 and obs.live_progress_enabled():
+        progress = obs.LiveProgress()
+
     engine = ExperimentEngine(
-        jobs=1 if args.profile else args.jobs,
+        jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=False if args.profile else not args.no_cache,
         retry_policy=retry_policy,
+        progress=progress,
     )
 
+    def release_progress_line() -> None:
+        # The live line renders without a newline; erase it before printing
+        # a report block so tables never continue on the progress line.
+        if progress is not None:
+            progress.clear()
+
     start = time.time()
-    table2 = engine.run_table2()
-    print(render_table2(table2, per_cell=args.per_cell))
-    print()
-
     table3 = figure6 = pareto = None
-    if not args.skip_table3:
-        names = tuple(args.benchmarks) if args.benchmarks else None
-        table3 = engine.run_table3(
-            benchmark_names=names,
-            flow=args.flow,
-            objective=args.objective,
-            power_vectors=args.power_vectors,
-            power_seed=args.power_seed,
-            rounds=args.map_rounds,
-            recovery=args.map_recovery,
-        )
-        figure6 = figure6_from_table3(table3)
-        header = f"[flow: {args.flow}; objective: {args.objective}"
-        if args.map_rounds:
-            header += (
-                f"; recovery: {args.map_rounds} round(s) of {args.map_recovery}"
-            )
-        print(header + "]")
-        print(render_table3(table3))
+    with obs.span(
+        "run",
+        category="run",
+        jobs=args.jobs,
+        flow=args.flow,
+        objective=args.objective,
+    ):
+        table2 = engine.run_table2()
+        release_progress_line()
+        print(render_table2(table2, per_cell=args.per_cell))
         print()
-        print(render_figure6(figure6))
-        print()
-        print(render_comparison(table3))
 
-    if args.pareto:
-        # The Pareto sweep schedules its own mapping jobs, so it also runs
-        # (and is written) when Table 3 itself is skipped.
-        names = tuple(args.benchmarks) if args.benchmarks else None
-        pareto = engine.run_pareto(
-            benchmark_names=names,
-            flow=args.flow,
-            power_vectors=args.power_vectors,
-            power_seed=args.power_seed,
-            rounds=args.map_rounds,
-            recovery=args.map_recovery,
-        )
-        print()
-        print(render_pareto(pareto))
+        if not args.skip_table3:
+            names = tuple(args.benchmarks) if args.benchmarks else None
+            table3 = engine.run_table3(
+                benchmark_names=names,
+                flow=args.flow,
+                objective=args.objective,
+                power_vectors=args.power_vectors,
+                power_seed=args.power_seed,
+                rounds=args.map_rounds,
+                recovery=args.map_recovery,
+            )
+            figure6 = figure6_from_table3(table3)
+            release_progress_line()
+            header = f"[flow: {args.flow}; objective: {args.objective}"
+            if args.map_rounds:
+                header += (
+                    f"; recovery: {args.map_rounds} round(s) of "
+                    f"{args.map_recovery}"
+                )
+            print(header + "]")
+            print(render_table3(table3))
+            print()
+            print(render_figure6(figure6))
+            print()
+            print(render_comparison(table3))
+
+        if args.pareto:
+            # The Pareto sweep schedules its own mapping jobs, so it also
+            # runs (and is written) when Table 3 itself is skipped.
+            names = tuple(args.benchmarks) if args.benchmarks else None
+            pareto = engine.run_pareto(
+                benchmark_names=names,
+                flow=args.flow,
+                power_vectors=args.power_vectors,
+                power_seed=args.power_seed,
+                rounds=args.map_rounds,
+                recovery=args.map_recovery,
+            )
+            release_progress_line()
+            print()
+            print(render_pareto(pareto))
+
+    if progress is not None:
+        progress.finish()
 
     if args.json is not None:
         written = engine.write_artifacts(
@@ -373,6 +449,37 @@ def main(argv: list[str] | None = None) -> int:
             with open(args.profile_out, "w", encoding="utf-8") as handle:
                 handle.write(rendered + "\n")
             print(f"\nwrote per-stage profile to {args.profile_out}")
+
+    if trace_run_id is not None:
+        recorded = obs.spans()
+        counter_totals = obs.counters()
+        written = []
+        if args.trace is not None:
+            path = obs.write_chrome_trace(
+                args.trace, recorded, run_id=trace_run_id, parent_pid=os.getpid()
+            )
+            written.append(str(path))
+        if args.metrics_out is not None:
+            report = obs.build_metrics(
+                recorded,
+                counter_totals,
+                run_id=trace_run_id,
+                robustness=engine.robustness_stats(),
+            )
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            written.append(args.metrics_out)
+        if args.events_out is not None:
+            path = obs.write_events(
+                args.events_out,
+                recorded,
+                run_id=trace_run_id,
+                counters=counter_totals,
+            )
+            written.append(str(path))
+        obs.disable_tracing()
+        print(f"\n[trace {trace_run_id}] wrote {', '.join(written)}")
 
     print(f"\ntotal runtime: {time.time() - start:.1f} s")
     return 0

@@ -54,7 +54,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import profiling
+from repro import obs, profiling
 from repro.experiments import faults
 from repro.synthesis.aig import Aig, _Node
 from repro.synthesis.aig_array import AigArrays, arrays_from_parts
@@ -92,6 +92,7 @@ def note_degraded() -> None:
     global _DEGRADED
     _DEGRADED += 1
     profiling.count("shm.degraded")
+    obs.event("shm.degraded")
 
 
 def degraded_count() -> int:

@@ -35,6 +35,7 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro import obs
 from repro.flow.passes import PassResult, get_pass
 from repro.synthesis.aig import Aig
 
@@ -138,14 +139,24 @@ class FlowSpec:
                 pass_.last_mapped = None  # stale results must not leak in
             nodes_before, depth_before = current.num_ands, current.depth()
             start = time.perf_counter()
-            transformed = pass_.run(current)
+            with obs.span(
+                pass_.name,
+                category="pass",
+                flow=self.name,
+                nodes_before=nodes_before,
+                depth_before=depth_before,
+            ) as pass_span:
+                transformed = pass_.run(current)
+                nodes_after, depth_after = transformed.num_ands, transformed.depth()
+                pass_span.set("nodes_after", nodes_after)
+                pass_span.set("depth_after", depth_after)
             telemetry.append(
                 PassResult(
                     name=pass_.name,
                     nodes_before=nodes_before,
-                    nodes_after=transformed.num_ands,
+                    nodes_after=nodes_after,
                     depth_before=depth_before,
-                    depth_after=transformed.depth(),
+                    depth_after=depth_after,
                     seconds=time.perf_counter() - start,
                 )
             )

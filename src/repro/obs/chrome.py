@@ -1,0 +1,112 @@
+"""Chrome trace-event export of the merged span buffer.
+
+Writes the JSON object format of the Trace Event specification (the one
+``chrome://tracing``, Perfetto and ``about:tracing`` load directly): a
+``traceEvents`` list of complete (``"ph": "X"``) events -- one per span,
+with microsecond ``ts``/``dur``, the recording ``pid``/``tid`` and the span
+attributes under ``args`` -- plus instant (``"ph": "i"``) events for the
+point markers attached to spans (retries, crashes, degradations) and
+metadata (``"ph": "M"``) records naming each process track.
+
+Timestamps are epoch-anchored microseconds shifted so the earliest span in
+the export starts at 0; spans from different processes were recorded
+against the same wall clock, so one shift preserves cross-process
+alignment and the per-pid tracks line up the way the run actually
+interleaved.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.obs.tracer import SpanRecord
+
+#: ``otherData`` tag identifying the producer in exported files.
+_PRODUCER = "repro.obs"
+
+
+def _track_names(spans: Sequence[SpanRecord], parent_pid: int | None) -> dict[int, str]:
+    """Stable display name per pid track (parent first, workers by pid)."""
+    names = {}
+    for record in spans:
+        if record.pid not in names:
+            names[record.pid] = (
+                "parent" if record.pid == parent_pid else f"worker-{record.pid}"
+            )
+    return names
+
+
+def trace_events(
+    spans: Sequence[SpanRecord],
+    parent_pid: int | None = None,
+) -> list[dict]:
+    """The ``traceEvents`` list for ``spans`` (metadata events first)."""
+    origin = min((record.start_us for record in spans), default=0)
+    events: list[dict] = []
+    for pid, label in sorted(_track_names(spans, parent_pid).items()):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+    for record in spans:
+        events.append(
+            {
+                "name": record.name,
+                "cat": record.category,
+                "ph": "X",
+                "ts": record.start_us - origin,
+                "dur": record.duration_us,
+                "pid": record.pid,
+                "tid": record.tid,
+                "args": dict(record.attributes),
+            }
+        )
+        for ts_us, name, attributes in record.events:
+            events.append(
+                {
+                    "name": name,
+                    "cat": "event",
+                    "ph": "i",
+                    "s": "t",  # thread-scoped instant marker
+                    "ts": max(0, ts_us - origin),
+                    "pid": record.pid,
+                    "tid": record.tid,
+                    "args": dict(attributes),
+                }
+            )
+    return events
+
+
+def chrome_payload(
+    spans: Sequence[SpanRecord],
+    run_id: str | None = None,
+    parent_pid: int | None = None,
+) -> dict:
+    """The full JSON-object-format payload (events + run metadata)."""
+    return {
+        "traceEvents": trace_events(spans, parent_pid=parent_pid),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": _PRODUCER, "run_id": run_id},
+    }
+
+
+def write_chrome_trace(
+    path: str | Path,
+    spans: Sequence[SpanRecord],
+    run_id: str | None = None,
+    parent_pid: int | None = None,
+) -> Path:
+    """Serialize ``spans`` to ``path`` in Chrome trace-event format."""
+    path = Path(path)
+    payload = chrome_payload(spans, run_id=run_id, parent_pid=parent_pid)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -1,0 +1,98 @@
+"""Structured JSONL event log of a run.
+
+One JSON object per line, every line tagged with the run id, so log
+shippers and the future service daemon can tail a run without parsing a
+nested document.  The log is derived from the merged span buffer after the
+run completes (the spans *are* the source of truth; the JSONL is a flat
+projection): a ``run-start``/``run-end`` envelope, one ``span`` record per
+completed span and one ``event`` record per point marker, in start order.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.obs.tracer import SpanRecord
+
+#: Log schema version carried on the envelope records.
+EVENTS_SCHEMA = 1
+
+
+def event_lines(
+    spans: Sequence[SpanRecord],
+    run_id: str | None,
+    counters: dict[str, float] | None = None,
+) -> list[dict]:
+    """The log records, in deterministic (start time, pid, id) order."""
+    ordered = sorted(
+        spans, key=lambda record: (record.start_us, record.pid, record.span_id)
+    )
+    start_us = ordered[0].start_us if ordered else 0
+    end_us = max(
+        (record.start_us + record.duration_us for record in ordered), default=0
+    )
+    lines: list[dict] = [
+        {
+            "type": "run-start",
+            "run_id": run_id,
+            "schema": EVENTS_SCHEMA,
+            "ts_us": start_us,
+        }
+    ]
+    for record in ordered:
+        lines.append(
+            {
+                "type": "span",
+                "run_id": run_id,
+                "ts_us": record.start_us,
+                "duration_us": record.duration_us,
+                "name": record.name,
+                "category": record.category,
+                "pid": record.pid,
+                "tid": record.tid,
+                "span_id": record.span_id,
+                "parent_id": record.parent_id,
+                "attributes": dict(record.attributes),
+            }
+        )
+        for ts_us, name, attributes in record.events:
+            lines.append(
+                {
+                    "type": "event",
+                    "run_id": run_id,
+                    "ts_us": ts_us,
+                    "name": name,
+                    "pid": record.pid,
+                    "span_id": record.span_id,
+                    "attributes": dict(attributes),
+                }
+            )
+    lines.append(
+        {
+            "type": "run-end",
+            "run_id": run_id,
+            "ts_us": end_us,
+            "spans": len(ordered),
+            "counters": {
+                name: int(value) if float(value).is_integer() else value
+                for name, value in sorted((counters or {}).items())
+            },
+        }
+    )
+    return lines
+
+
+def write_events(
+    path: str | Path,
+    spans: Sequence[SpanRecord],
+    run_id: str | None,
+    counters: dict[str, float] | None = None,
+) -> Path:
+    """Write the JSONL event log to ``path``."""
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in event_lines(spans, run_id, counters=counters):
+            handle.write(json.dumps(line, sort_keys=True) + "\n")
+    return path

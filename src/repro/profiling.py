@@ -7,71 +7,44 @@ pipeline stages -- ``optimize`` (technology-independent flow), ``cuts``
 :func:`stage`, which is a no-op costing one attribute read when profiling is
 disabled.  :func:`snapshot` returns the accumulated seconds and entry counts
 for the JSON report, so future performance work can attribute wins per stage.
+
+Since the unified observability layer landed this module is a thin shim over
+:mod:`repro.obs.tracer`: the same ``stage``/``count`` call sites feed both
+the flat ``--profile`` report and, when tracing is enabled, the hierarchical
+span buffer behind ``--trace``/``--metrics-out``.  The API and the snapshot
+shape are unchanged, and the disabled path is still one attribute read.
 """
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
-from typing import Iterator
+from repro.obs import tracer as _tracer
 
-_active = False
-_seconds: dict[str, float] = {}
-_entries: dict[str, int] = {}
-_counters: dict[str, int] = {}
+#: Re-exported tracer primitives: ``stage`` times a section (and records a
+#: span in trace mode); ``count`` bumps a named event counter.  See
+#: :mod:`repro.obs.tracer` for their contracts.
+stage = _tracer.stage
+count = _tracer.count
 
 
 def enable(reset: bool = True) -> None:
     """Turn the accumulator on (optionally clearing previous figures)."""
-    global _active
-    if reset:
-        _seconds.clear()
-        _entries.clear()
-        _counters.clear()
-    _active = True
+    _tracer.enable_profile(reset=reset)
 
 
 def disable() -> None:
-    global _active
-    _active = False
+    _tracer.disable_profile()
 
 
 def active() -> bool:
-    return _active
+    """True when ``--profile`` stage accounting is on.
 
-
-@contextmanager
-def stage(name: str) -> Iterator[None]:
-    """Accumulate the wall-clock time of a pipeline stage when profiling."""
-    if not _active:
-        yield
-        return
-    start = time.perf_counter()
-    try:
-        yield
-    finally:
-        _seconds[name] = _seconds.get(name, 0.0) + (time.perf_counter() - start)
-        _entries[name] = _entries.get(name, 0) + 1
-
-
-def count(name: str, value: int = 1) -> None:
-    """Accumulate a named event counter when profiling is active.
-
-    Used by the robustness layer (cache hits/misses/corruptions/evictions,
-    shared-memory degradations, job retries) so ``--profile`` reports the
-    failure-path traffic next to the stage timings.  One attribute read
-    when profiling is disabled.
+    Deliberately *not* true in trace-only mode: call sites that gate extra
+    attribution work (the engine's verify stage) on :func:`active` must not
+    change a traced run's behaviour.
     """
-    if not _active:
-        return
-    _counters[name] = _counters.get(name, 0) + value
+    return _tracer.profile_active()
 
 
 def snapshot() -> dict:
     """The accumulated per-stage figures (stable key order)."""
-    return {
-        "stages": {name: _seconds[name] for name in sorted(_seconds)},
-        "entries": {name: _entries[name] for name in sorted(_entries)},
-        "counters": {name: _counters[name] for name in sorted(_counters)},
-        "total_seconds": sum(_seconds.values()),
-    }
+    return _tracer.profile_snapshot()

@@ -56,7 +56,7 @@ from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
-from repro import profiling
+from repro import obs, profiling
 from repro.core.library import GateLibrary
 from repro.synthesis.aig import Aig, lit_node
 from repro.synthesis.aig_array import aig_arrays
@@ -1151,6 +1151,13 @@ def map_rounds(
                 if batched
                 else _candidates_for(arrays, cut_set, matcher, prefer)
             )
+            rows = (
+                table.num_rows
+                if batched
+                else sum(len(node_rows) for node_rows in table)
+            )
+            obs.count("mapper.candidate_rows", rows)
+            obs.annotate(candidate_rows=rows)
         prices = price_tables.get((which.name, prefer))
         if prices is None:
             prices = price_tables[(which.name, prefer)] = (
@@ -1161,31 +1168,36 @@ def map_rounds(
         return table, prices
 
     dp_state: _DpState | None = None
-    with profiling.stage("match"):
-        candidates, prices = tables_for(model)
-        if batched:
-            dp_state = _dp_round_batched(
-                aig,
-                library,
-                candidates,
-                prices,
-                model,
-                np.maximum(arrays.fanout, 1).astype(np.float64),
-            )
-            choices = _BatchedChoices(candidates, dp_state.choice.copy())
-        else:
-            choices, _, _ = _dp_round(
-                aig,
-                library,
-                and_node_list,
-                candidates,
-                prices,
-                model,
-                structural_references,
-            )
+    with obs.span(
+        "map-round", category="round", round=0, objective=model.name
+    ) as round_span:
+        with profiling.stage("match"):
+            candidates, prices = tables_for(model)
+            if batched:
+                dp_state = _dp_round_batched(
+                    aig,
+                    library,
+                    candidates,
+                    prices,
+                    model,
+                    np.maximum(arrays.fanout, 1).astype(np.float64),
+                )
+                choices = _BatchedChoices(candidates, dp_state.choice.copy())
+            else:
+                choices, _, _ = _dp_round(
+                    aig,
+                    library,
+                    and_node_list,
+                    candidates,
+                    prices,
+                    model,
+                    structural_references,
+                )
 
-    with profiling.stage("cover"):
-        mapped, report = _cover(aig, library, choices, pin_capacitances)
+        with profiling.stage("cover"):
+            mapped, report = _cover(aig, library, choices, pin_capacitances)
+        round_span.set("gates", len(mapped.gates))
+        round_span.set("delay", mapped.normalized_delay)
 
     result = MappingResult(
         objective=model.name,
@@ -1247,70 +1259,79 @@ def map_rounds(
     margin = 0.0
 
     with profiling.stage("recover"):
-        for _ in range(rounds):
-            attempts = _RECOVERY_RETRIES
-            while True:
-                required = _required_times(
-                    arrays.num_nodes, best_report, baseline_delay - margin
+        for round_index in range(rounds):
+            with obs.span(
+                "map-round",
+                category="round",
+                round=round_index + 1,
+                objective=recovery_model.name,
+            ) as round_span:
+                attempts = _RECOVERY_RETRIES
+                while True:
+                    required = _required_times(
+                        arrays.num_nodes, best_report, baseline_delay - margin
+                    )
+                    references = _cover_references(best_mapped, fanout)
+                    if batched:
+                        # Incremental re-solve: between rounds (and deadline
+                        # retries) only the required/reference inputs move, so
+                        # the DP diffs against the previous solution and
+                        # re-chooses the affected cone only.
+                        dp_state = _dp_round_batched(
+                            aig,
+                            library,
+                            recovery_candidates,
+                            recovery_prices,
+                            recovery_model,
+                            np.asarray(references, dtype=np.float64),
+                            required=np.asarray(required, dtype=np.float64),
+                            load_aware=True,
+                            state=dp_state if incremental else None,
+                        )
+                        round_choices = _BatchedChoices(
+                            recovery_candidates, dp_state.choice.copy()
+                        )
+                    else:
+                        round_choices, _, _ = _dp_round(
+                            aig,
+                            library,
+                            and_node_list,
+                            recovery_candidates,
+                            recovery_prices,
+                            recovery_model,
+                            references,
+                            required=required,
+                            load_aware=True,
+                        )
+                    round_mapped, round_report = _cover(
+                        aig, library, round_choices, pin_capacitances
+                    )
+                    overshoot = round_mapped.normalized_delay - baseline_delay
+                    if overshoot > EPSILON and attempts > 0:
+                        attempts -= 1
+                        margin += overshoot
+                        continue
+                    break
+                round_cost = cover_cost(round_mapped, round_choices)
+                accepted = (
+                    overshoot <= EPSILON and round_cost <= best_cost + EPSILON
                 )
-                references = _cover_references(best_mapped, fanout)
-                if batched:
-                    # Incremental re-solve: between rounds (and deadline
-                    # retries) only the required/reference inputs move, so
-                    # the DP diffs against the previous solution and
-                    # re-chooses the affected cone only.
-                    dp_state = _dp_round_batched(
-                        aig,
-                        library,
-                        recovery_candidates,
-                        recovery_prices,
-                        recovery_model,
-                        np.asarray(references, dtype=np.float64),
-                        required=np.asarray(required, dtype=np.float64),
-                        load_aware=True,
-                        state=dp_state if incremental else None,
-                    )
-                    round_choices = _BatchedChoices(
-                        recovery_candidates, dp_state.choice.copy()
-                    )
-                else:
-                    round_choices, _, _ = _dp_round(
-                        aig,
-                        library,
-                        and_node_list,
-                        recovery_candidates,
-                        recovery_prices,
-                        recovery_model,
-                        references,
-                        required=required,
-                        load_aware=True,
-                    )
-                round_mapped, round_report = _cover(
-                    aig, library, round_choices, pin_capacitances
+                round_span.set("accepted", accepted)
+                round_span.set("overshoot", overshoot)
+                round_span.set("retries", _RECOVERY_RETRIES - attempts)
+                result.rounds.append(round_mapped)
+                result.accepted.append(accepted)
+                if not accepted:
+                    # The driver is deterministic: re-running from the same
+                    # accepted cover would reproduce the same rejected round.
+                    break
+                improved = round_cost < best_cost - EPSILON or round_mapped.area < (
+                    best_mapped.area - EPSILON
                 )
-                overshoot = round_mapped.normalized_delay - baseline_delay
-                if overshoot > EPSILON and attempts > 0:
-                    attempts -= 1
-                    margin += overshoot
-                    continue
-                break
-            round_cost = cover_cost(round_mapped, round_choices)
-            accepted = (
-                overshoot <= EPSILON and round_cost <= best_cost + EPSILON
-            )
-            result.rounds.append(round_mapped)
-            result.accepted.append(accepted)
-            if not accepted:
-                # The driver is deterministic: re-running from the same
-                # accepted cover would reproduce the same rejected round.
-                break
-            improved = round_cost < best_cost - EPSILON or round_mapped.area < (
-                best_mapped.area - EPSILON
-            )
-            best_cost = round_cost
-            best_mapped, best_report = round_mapped, round_report
-            if not improved:
-                break  # fixpoint: further rounds cannot find new slack
+                best_cost = round_cost
+                best_mapped, best_report = round_mapped, round_report
+                if not improved:
+                    break  # fixpoint: further rounds cannot find new slack
     return result
 
 

@@ -1,0 +1,12 @@
+"""Shared fixtures: every obs test starts and ends with a clean tracer."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    obs.reset()
+    yield
+    obs.reset()

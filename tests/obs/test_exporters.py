@@ -1,0 +1,148 @@
+"""Chrome trace-event schema validation and the JSONL event log."""
+
+import json
+
+from repro.obs.chrome import chrome_payload, trace_events, write_chrome_trace
+from repro.obs.events import event_lines, write_events
+from repro.obs.tracer import SpanRecord
+
+#: Phases the exporter may legally emit.
+VALID_PHASES = {"M", "X", "i"}
+
+
+def _span(span_id, name, start_us, duration_us, pid, parent=None, events=(), **attrs):
+    return SpanRecord(
+        span_id=span_id,
+        parent_id=parent,
+        name=name,
+        category="job",
+        start_us=start_us,
+        duration_us=duration_us,
+        pid=pid,
+        tid=pid * 10,
+        attributes=attrs,
+        events=list(events),
+    )
+
+
+def _sample_spans():
+    return [
+        _span(1, "run", 1_000_000, 900, pid=100),
+        _span(1, "job:a", 1_000_100, 500, pid=200, nodes=12),
+        _span(
+            2,
+            "job:b",
+            1_000_200,
+            300,
+            pid=200,
+            parent=1,
+            events=[(1_000_250, "job.crash", {"attempt": 1})],
+        ),
+    ]
+
+
+class TestChromeSchema:
+    def test_every_event_satisfies_the_trace_event_schema(self):
+        events = trace_events(_sample_spans(), parent_pid=100)
+        assert events, "exporter must emit events"
+        for event in events:
+            assert event["ph"] in VALID_PHASES
+            assert isinstance(event["name"], str) and event["name"]
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            assert isinstance(event["args"], dict)
+            if event["ph"] != "M":
+                assert isinstance(event["ts"], int) and event["ts"] >= 0
+            if event["ph"] == "X":
+                assert isinstance(event["dur"], int) and event["dur"] >= 0
+            if event["ph"] == "i":
+                assert event["s"] == "t"
+
+    def test_timestamps_are_rebased_to_the_earliest_span(self):
+        events = trace_events(_sample_spans(), parent_pid=100)
+        complete = [e for e in events if e["ph"] == "X"]
+        assert min(e["ts"] for e in complete) == 0
+        by_name = {e["name"]: e for e in complete}
+        assert by_name["job:a"]["ts"] == 100
+        assert by_name["job:b"]["ts"] == 200
+
+    def test_process_metadata_names_every_pid_track(self):
+        events = trace_events(_sample_spans(), parent_pid=100)
+        tracks = {
+            e["pid"]: e["args"]["name"] for e in events if e["ph"] == "M"
+        }
+        assert tracks == {100: "parent", 200: "worker-200"}
+
+    def test_span_events_become_thread_scoped_instants(self):
+        events = trace_events(_sample_spans(), parent_pid=100)
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["name"] == "job.crash"
+        assert instants[0]["args"] == {"attempt": 1}
+        assert instants[0]["pid"] == 200
+
+    def test_payload_carries_run_metadata(self):
+        payload = chrome_payload(_sample_spans(), run_id="rid", parent_pid=100)
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["otherData"]["run_id"] == "rid"
+        assert payload["otherData"]["producer"] == "repro.obs"
+
+    def test_written_file_parses_as_json(self, tmp_path):
+        path = write_chrome_trace(
+            tmp_path / "trace.json", _sample_spans(), run_id="rid", parent_pid=100
+        )
+        payload = json.loads(path.read_text())
+        assert isinstance(payload["traceEvents"], list)
+        assert payload == json.loads(
+            json.dumps(payload)
+        )  # round-trip stable
+
+    def test_empty_span_list_is_a_valid_trace(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "empty.json", [], run_id=None)
+        assert json.loads(path.read_text())["traceEvents"] == []
+
+
+class TestEventLog:
+    def test_envelope_and_ordering(self):
+        lines = event_lines(_sample_spans(), "rid", counters={"ticks": 2})
+        assert lines[0]["type"] == "run-start"
+        assert lines[-1]["type"] == "run-end"
+        assert lines[0]["ts_us"] == 1_000_000
+        assert lines[-1]["ts_us"] == 1_000_900
+        assert lines[-1]["spans"] == 3
+        assert lines[-1]["counters"] == {"ticks": 2}
+        span_lines = [line for line in lines if line["type"] == "span"]
+        assert [line["ts_us"] for line in span_lines] == sorted(
+            line["ts_us"] for line in span_lines
+        )
+
+    def test_every_line_carries_the_run_id(self):
+        lines = event_lines(_sample_spans(), "rid")
+        assert all(line["run_id"] == "rid" for line in lines)
+
+    def test_point_events_project_to_their_own_lines(self):
+        lines = event_lines(_sample_spans(), "rid")
+        events = [line for line in lines if line["type"] == "event"]
+        assert len(events) == 1
+        assert events[0]["name"] == "job.crash"
+        assert events[0]["span_id"] == 2
+        assert events[0]["attributes"] == {"attempt": 1}
+
+    def test_order_is_deterministic_across_buffer_permutations(self):
+        spans = _sample_spans()
+        assert event_lines(spans, "rid") == event_lines(
+            list(reversed(spans)), "rid"
+        )
+
+    def test_written_file_is_one_json_object_per_line(self, tmp_path):
+        path = write_events(
+            tmp_path / "events.jsonl", _sample_spans(), "rid", counters={}
+        )
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0]["type"] == "run-start"
+        assert lines[-1]["type"] == "run-end"
+        assert len(lines) == 2 + 3 + 1  # envelope + spans + one event
+
+    def test_empty_trace_still_produces_the_envelope(self):
+        lines = event_lines([], "rid")
+        assert [line["type"] for line in lines] == ["run-start", "run-end"]
