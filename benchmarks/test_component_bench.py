@@ -13,9 +13,15 @@ from repro.bench.generators.adders import ripple_adder_circuit
 from repro.bench.generators.multiplier import array_multiplier_circuit
 from repro.core.families import LogicFamily, build_family_cells
 from repro.core.library import build_library
-from repro.synthesis.cuts import enumerate_cuts
+from repro.logic.npn import canonicalize_bits, clear_canonicalizer_memo
+from repro.synthesis.aig_array import aig_arrays
+from repro.synthesis.cuts import cut_set_for, enumerate_cuts
 from repro.synthesis.mapper import technology_map
-from repro.synthesis.matcher import ExhaustiveLibraryMatcher, LibraryMatcher
+from repro.synthesis.matcher import (
+    ExhaustiveLibraryMatcher,
+    LibraryMatcher,
+    cut_function_table,
+)
 from repro.synthesis.optimize import balance, optimize, rewrite
 
 
@@ -65,6 +71,54 @@ def test_bench_optimize_adder(benchmark):
 def test_bench_cut_enumeration(benchmark, multiplier_aig):
     cuts = benchmark(enumerate_cuts, multiplier_aig)
     assert len(cuts) >= multiplier_aig.num_ands
+
+
+def test_bench_matching_batch(benchmark, multiplier_aig, libraries, matchers):
+    """Batched match resolution (cut_function_table + match_table) on the
+    multiplier's ranked cuts.
+
+    Every round drops the per-cut-set memos and the batch canonicalizer memo
+    first, so the benchmark times the full canonicalize/searchsorted/compose
+    pipeline rather than a memo hit.
+    """
+    matcher = matchers[LogicFamily.TG_STATIC]
+    arrays = aig_arrays(multiplier_aig)
+    cut_set = cut_set_for(multiplier_aig)
+
+    def run():
+        for field in ("_match_tables", "_function_tables", "_projected"):
+            cut_set.__dict__.pop(field, None)
+        clear_canonicalizer_memo()
+        return matcher.match_table(cut_set, arrays.and_nodes, "delay")
+
+    table = benchmark(run)
+    assert table.matched.any()
+    assert table.inverse.shape[0] == int(
+        (cut_set.count[arrays.and_nodes] - 1).sum()
+    )
+
+
+def test_bench_matching_scalar(benchmark, multiplier_aig, libraries, matchers):
+    """Scalar oracle (``match_positions`` per distinct cut function) on the
+    same workload as ``test_bench_matching_batch``, memos cleared per round."""
+    matcher = matchers[LogicFamily.TG_STATIC]
+    arrays = aig_arrays(multiplier_aig)
+    cut_set = cut_set_for(multiplier_aig)
+    functions = cut_function_table(cut_set, arrays.and_nodes)
+    sizes = [int(v) for v in functions.sizes]
+    tables = [int(v) for v in functions.tables]
+
+    def run():
+        matcher.cache_clear()
+        canonicalize_bits.cache_clear()
+        hits = 0
+        for size, bits in zip(sizes, tables):
+            if matcher.match_positions(size, bits, prefer="delay") is not None:
+                hits += 1
+        return hits
+
+    hits = benchmark(run)
+    assert hits > 0
 
 
 def test_bench_mapping_only(benchmark, multiplier_aig, libraries, matchers):

@@ -502,10 +502,17 @@ def _pool_initializer(epoch: int, obs_config: dict | None = None) -> None:
 
 def _worker_cache_footprint() -> dict[str, int]:
     """Sizes of every per-process memo (cache-boundedness diagnostics)."""
+    sizes = cut_cache_sizes()
     return {
         "optimized_aigs": len(_OPTIMIZED_AIGS),
         "activity_reports": len(_ACTIVITY_REPORTS),
-        "cut_cache_entries": sum(cut_cache_sizes().values()),
+        "cut_cache_entries": sum(sizes.values()),
+        "matcher_memos": (
+            sizes.get("matcher_positions_memo", 0)
+            + sizes.get("matcher_match_memo", 0)
+            + sizes.get("npn_batch_memo", 0)
+        ),
+        "match_tables": sizes.get("cutset_memos", 0),
         "shm_attachments": shm.attachment_count(),
     }
 

@@ -58,7 +58,8 @@ from repro import obs, profiling
 from repro.experiments import faults
 from repro.synthesis.aig import Aig, _Node
 from repro.synthesis.aig_array import AigArrays, arrays_from_parts
-from repro.synthesis.cuts import CutSet
+from repro.synthesis.cuts import CutSet, _track_cutset_memo
+from repro.synthesis.matcher import CutFunctionTable, cut_function_table
 
 #: Byte alignment of every array inside a segment (covers all shipped dtypes).
 _ALIGN = 16
@@ -181,15 +182,38 @@ _LOCAL: dict[str, Aig] = {}
 _ATTACHED: dict[str, tuple[shared_memory.SharedMemory, Aig]] = {}
 
 
-def _subject_arrays(arrays: AigArrays, cut_set: CutSet) -> list[tuple[str, np.ndarray]]:
+#: Segment fields carrying the published match index (the cut set's
+#: :class:`~repro.synthesis.matcher.CutFunctionTable` columns), in
+#: :class:`CutFunctionTable` field order.
+_FUNCTION_TABLE_FIELDS = (
+    "inverse",
+    "sizes",
+    "tables",
+    "support",
+    "width",
+    "positions",
+    "reduced",
+    "canon",
+    "cut_perm",
+    "cut_phase",
+    "cut_negated",
+)
+
+
+def _subject_arrays(
+    arrays: AigArrays, cut_set: CutSet, functions: CutFunctionTable | None = None
+) -> list[tuple[str, np.ndarray]]:
     """The shipped buffers, in segment order.
 
     ``fanout`` / ``is_and`` / ``and_nodes`` / ``level_groups`` are all
     derivable from the fanins and outputs (see
     :func:`repro.synthesis.aig_array.arrays_from_parts`), so only the
-    irreducible arrays travel.
+    irreducible arrays travel.  The optional match index (one
+    ``fn_``-prefixed segment per :class:`CutFunctionTable` column) rides in
+    the same segment; the segments tuple is self-describing, so handles with
+    and without it coexist.
     """
-    return [
+    payload = [
         ("fanin0", arrays.fanin0),
         ("fanin1", arrays.fanin1),
         ("level", arrays.level),
@@ -200,6 +224,12 @@ def _subject_arrays(arrays: AigArrays, cut_set: CutSet) -> list[tuple[str, np.nd
         ("cut_table", cut_set.table),
         ("cut_support", cut_set.support),
     ]
+    if functions is not None:
+        payload.extend(
+            (f"fn_{field}", getattr(functions, field))
+            for field in _FUNCTION_TABLE_FIELDS
+        )
+    return payload
 
 
 def publish_subject(
@@ -217,7 +247,12 @@ def publish_subject(
         _LOCAL.setdefault(key, aig)
         return _LOCAL_HANDLES[key]
 
-    payload = _subject_arrays(arrays, cut_set)
+    # Build (or reuse) the subject's match index -- the distinct cut
+    # functions with their NPN canonicalization columns -- so workers skip
+    # the batched orbit scans entirely and resolve matches straight against
+    # their (fork-inherited) matcher indexes.
+    functions = cut_function_table(cut_set, arrays.and_nodes)
+    payload = _subject_arrays(arrays, cut_set, functions)
     offsets: list[int] = []
     total = 0
     for _field, array in payload:
@@ -356,6 +391,16 @@ def resolve_subject(handle: SubjectHandle) -> Aig:
         table=views["cut_table"],
         support=views["cut_support"],
     )
+    if "fn_inverse" in views:
+        # Pre-install the shipped match index: zero-copy views over the
+        # parent's canonicalization columns, keyed exactly as
+        # ``cut_function_table`` would memoize its own (output negation on,
+        # the engine's matcher configuration).
+        functions = CutFunctionTable(
+            **{field: views[f"fn_{field}"] for field in _FUNCTION_TABLE_FIELDS}
+        )
+        object.__setattr__(cut_set, "_function_tables", {True: functions})
+        _track_cutset_memo(cut_set)
     structure = (aig.num_nodes, aig.num_pos)
     aig.__dict__["_array_view"] = (structure, arrays)
     aig.__dict__["_cut_sets"] = (

@@ -243,6 +243,51 @@ def _min_variant(bits: int, num_vars: int) -> tuple[int, tuple[int, ...], int]:
     return int(values[row]), perms[perm_index], phase
 
 
+#: Memory budget (bytes) for one chunk of the batched orbit scan.  At arity 6
+#: the candidate block is ``n! * 2**n * 2**n`` = ~2.9 MB per table, so the
+#: default budget scans ~20 six-input tables per chunk while whole batches of
+#: small-arity tables fit in one pass.
+_BATCH_SCAN_BYTES = 1 << 26
+
+
+def _min_variant_batch(
+    values: "np.ndarray", num_vars: int
+) -> tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
+    """Batched :func:`_min_variant`: minimum variant of every table at once.
+
+    Returns ``(best, perm_index, phase)`` arrays with
+    ``best[i] == _min_variant(values[i], num_vars)[0]`` (and the same witness:
+    both take the *first* row attaining the minimum, so the chosen
+    permutation/phase is identical to the scalar scan).  The candidate block
+    is processed in chunks bounded by :data:`_BATCH_SCAN_BYTES`.
+    """
+    size = 1 << num_vars
+    _perms, index = _candidate_matrix(num_vars)
+    count = values.shape[0]
+    best = np.empty(count, dtype=np.uint64)
+    rows = np.empty(count, dtype=np.int64)
+    chunk = max(1, _BATCH_SCAN_BYTES // (index.size or 1))
+    for start in range(0, count, chunk):
+        block = np.ascontiguousarray(values[start : start + chunk], dtype="<u8")
+        columns = np.unpackbits(
+            block.view(np.uint8).reshape(-1, 8), axis=1, bitorder="little"
+        )[:, :size]
+        candidates = columns[:, index]
+        packed = np.packbits(candidates, axis=2, bitorder="little")
+        if packed.shape[2] < 8:
+            packed = np.pad(packed, ((0, 0), (0, 0), (0, 8 - packed.shape[2])))
+        words = (
+            np.ascontiguousarray(packed)
+            .reshape(block.shape[0], -1)
+            .view(np.dtype("<u8"))
+        )
+        argrow = words.argmin(axis=1)
+        best[start : start + chunk] = words[np.arange(block.shape[0]), argrow]
+        rows[start : start + chunk] = argrow
+    perm_index, phase = np.divmod(rows, size)
+    return best, perm_index, phase
+
+
 @lru_cache(maxsize=1 << 16)
 def canonicalize_bits(
     bits: int, num_vars: int, include_output_negation: bool = True
@@ -270,6 +315,107 @@ def canonicalize_bits(
             best, perm, phase = negated_best, negated_perm, negated_phase
             output_negated = True
     return best, perm, phase, output_negated
+
+
+#: Per-``(num_vars, include_output_negation)`` memo of the columnar batch
+#: canonicalizer: raw bits -> ``(canonical, permutation, phase, negated)``
+#: exactly as :func:`canonicalize_bits` returns them.  Kept separate from the
+#: scalar ``lru_cache`` (which cannot be populated externally) but cleared by
+#: the same between-batch sweep (see the matcher's cache sweeper) and bounded
+#: by :data:`_COLUMN_MEMO_LIMIT`.
+_COLUMN_MEMO: dict[tuple[int, bool], dict[int, tuple[int, tuple[int, ...], int, bool]]] = {}
+_COLUMN_MEMO_LIMIT = 1 << 16
+
+
+def clear_canonicalizer_memo() -> None:
+    """Drop the batch canonicalizer's cross-call memo."""
+    _COLUMN_MEMO.clear()
+
+
+def canonicalizer_memo_size() -> int:
+    """Entries in the batch canonicalizer's memo (diagnostics)."""
+    return sum(len(memo) for memo in _COLUMN_MEMO.values())
+
+
+def canonicalize_bits_batch_columns(
+    bits: "Sequence[int] | np.ndarray",
+    num_vars: int,
+    include_output_negation: bool = True,
+) -> tuple["np.ndarray", "np.ndarray", "np.ndarray", "np.ndarray"]:
+    """Columnar batch canonicalization: canonical bits *and* transform columns.
+
+    Returns ``(canonical, permutation, phase, negated)`` arrays over the
+    input order -- ``canonical`` uint64, ``permutation`` int8 of shape
+    ``(len(bits), num_vars)``, ``phase`` int16, ``negated`` bool -- with row
+    ``i`` element-for-element equal to ``canonicalize_bits(bits[i], num_vars,
+    include_output_negation)`` (pinned by the npn property tests).  The batch
+    is deduplicated with one ``np.unique`` pass, unseen tables run through
+    the chunked vectorized orbit scan (:func:`_min_variant_batch`, both
+    polarities when output negation is allowed) and results are memoized in
+    :data:`_COLUMN_MEMO` so repeated batches -- the same cut functions across
+    benchmarks and libraries -- are dictionary hits.
+    """
+    if num_vars > 6:
+        raise ValueError("canonicalize_bits_batch_columns is limited to 6 inputs")
+    array = np.asarray(bits, dtype=np.uint64)
+    count = array.shape[0]
+    canonical = np.zeros(count, dtype=np.uint64)
+    permutation = np.zeros((count, num_vars), dtype=np.int8)
+    phase = np.zeros(count, dtype=np.int16)
+    negated = np.zeros(count, dtype=bool)
+    if count == 0:
+        return canonical, permutation, phase, negated
+
+    full = (1 << (1 << num_vars)) - 1
+    unique, inverse = np.unique(array & np.uint64(full), return_inverse=True)
+    memo = _COLUMN_MEMO.setdefault((num_vars, include_output_negation), {})
+    unique_values = unique.tolist()
+    missing = [
+        position
+        for position, value in enumerate(unique_values)
+        if value not in memo
+    ]
+    if missing:
+        if len(memo) + len(missing) > _COLUMN_MEMO_LIMIT:
+            memo.clear()
+        todo = unique[missing]
+        perms, _index = _candidate_matrix(num_vars)
+        best, perm_index, best_phase = _min_variant_batch(todo, num_vars)
+        flip = np.zeros(len(missing), dtype=bool)
+        if include_output_negation:
+            neg_best, neg_perm_index, neg_phase = _min_variant_batch(
+                todo ^ np.uint64(full), num_vars
+            )
+            flip = neg_best < best
+            best = np.where(flip, neg_best, best)
+            perm_index = np.where(flip, neg_perm_index, perm_index)
+            best_phase = np.where(flip, neg_phase, best_phase)
+        for row, position in enumerate(missing):
+            memo[unique_values[position]] = (
+                int(best[row]),
+                perms[int(perm_index[row])],
+                int(best_phase[row]),
+                bool(flip[row]),
+            )
+
+    unique_canon = np.empty(unique.shape[0], dtype=np.uint64)
+    unique_perm = np.empty((unique.shape[0], num_vars), dtype=np.int8)
+    unique_phase = np.empty(unique.shape[0], dtype=np.int16)
+    unique_neg = np.empty(unique.shape[0], dtype=bool)
+    for position, value in enumerate(unique_values):
+        canon_bits, perm, phase_bits, neg = memo[value]
+        unique_canon[position] = canon_bits
+        unique_perm[position] = perm
+        unique_phase[position] = phase_bits
+        unique_neg[position] = neg
+
+    inverse = inverse.reshape(-1)
+    return (
+        unique_canon[inverse],
+        unique_perm[inverse],
+        unique_phase[inverse],
+        unique_neg[inverse],
+    )
 
 
 def canonicalize_bits_batch(

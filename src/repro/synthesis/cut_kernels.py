@@ -176,3 +176,74 @@ def batch_support(tables: np.ndarray, sizes: np.ndarray) -> np.ndarray:
         depends = (tables & mask) != (shifted & mask)
         supports |= (depends & in_range).astype(np.uint8) << np.uint8(position)
     return supports
+
+
+#: Batched equivalent of ``repro.synthesis.cuts.table_support`` -- the name
+#: the matching pipeline uses; identical to :func:`batch_support`.
+table_support_batch = batch_support
+
+
+def _build_compress_index() -> np.ndarray:
+    """``_COMPRESS_INDEX[mask, m]`` = the source-table minterm feeding
+    projected minterm ``m``: the low ``popcount(mask)`` bits of ``m``
+    deposited at the positions named by ``mask`` (a precomputed
+    parallel-bit-deposit, the inverse of :data:`_EXPAND_INDEX`)."""
+    index = np.zeros((64, 64), dtype=np.uint64)
+    for mask in range(64):
+        for minterm in range(64):
+            source, consumed = 0, 0
+            for position in range(6):
+                if (mask >> position) & 1:
+                    if (minterm >> consumed) & 1:
+                        source |= 1 << position
+                    consumed += 1
+            index[mask, minterm] = source
+    return index
+
+
+_COMPRESS_INDEX = _build_compress_index()
+_POPCOUNT64 = np.array([bin(value).count("1") for value in range(64)], dtype=np.int64)
+
+#: ``_MASK_POSITIONS[mask, j]`` = the ``j``-th set bit position of ``mask``
+#: (ascending), zero-padded -- the leaf positions a support mask selects.
+_MASK_POSITIONS = np.zeros((64, 6), dtype=np.int64)
+for _mask in range(64):
+    _positions = [p for p in range(6) if (_mask >> p) & 1]
+    _MASK_POSITIONS[_mask, : len(_positions)] = _positions
+del _mask, _positions
+
+
+def support_positions(masks: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-mask ``(positions, widths)``: the set bit positions (ascending,
+    zero-padded to 6 columns) and the popcount of every support mask."""
+    masks = masks.astype(np.int64)
+    return _MASK_POSITIONS[masks], _POPCOUNT64[masks]
+
+
+def project_table_batch(tables: np.ndarray, masks: np.ndarray) -> np.ndarray:
+    """Project every table onto the variables named by its support mask.
+
+    Batched equivalent of ``repro.synthesis.cuts.project_table`` (variables
+    outside the mask are removed keeping the negative cofactor, i.e. the
+    minterms with those variables at 0): projected minterm ``m`` reads source
+    bit :data:`_COMPRESS_INDEX` ``[mask, m]``.  A full mask is the identity
+    gather.  Bits at and above ``2**popcount(mask)`` are forced to zero,
+    matching the scalar rebuild loop.
+    """
+    if tables.size == 0:
+        return tables.astype(np.uint64)
+    tables = tables.astype(np.uint64)
+    mask_rows = masks.astype(np.int64)
+    out = np.empty(tables.shape[0], dtype=np.uint64)
+    minterms = np.arange(64, dtype=np.int64)[None, :]
+    # ~1.5 KB of temporaries per row; chunking bounds the working set.
+    chunk = 1 << 14
+    for start in range(0, tables.shape[0], chunk):
+        t = tables[start : start + chunk]
+        m = mask_rows[start : start + chunk]
+        source = _COMPRESS_INDEX[m]
+        bits = (t[:, None] >> source) & _U64(1)
+        valid = minterms < (np.int64(1) << _POPCOUNT64[m][:, None])
+        contributions = np.where(valid, bits * _MINTERM_WEIGHTS[None, :], _U64(0))
+        out[start : start + chunk] = contributions.sum(axis=1, dtype=np.uint64)
+    return out

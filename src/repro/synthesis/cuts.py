@@ -29,6 +29,7 @@ keys on demand.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from functools import lru_cache
 
@@ -40,6 +41,7 @@ from repro.synthesis.cut_kernels import (
     FULL_BY_SIZE,
     batch_support,
     expand_tables,
+    project_table_batch,
 )
 
 #: Default mapping parameters, chosen to cover the six-input cells (F42..F45)
@@ -188,9 +190,11 @@ def cut_cache_sizes() -> dict[str, int]:
 
     Diagnostic counterpart of :func:`clear_cut_caches` -- the engine's
     worker-cache regression test asserts these stay bounded across job
-    batches.  Registered entries either expose ``lru_cache``'s
-    ``cache_info`` or a custom ``cache_size`` hook (e.g. the matcher memo
-    sweeper); entries with neither count as zero.
+    batches.  Registered entries expose ``lru_cache``'s ``cache_info``, a
+    custom scalar ``cache_size`` hook, or a ``cache_sizes`` hook returning a
+    per-memo breakdown (e.g. the matcher memo sweeper reporting its
+    positions / match / match-table memos separately); entries with none
+    count as zero.
     """
     sizes: dict[str, int] = {}
     for cached in _CUT_PIPELINE_CACHES:
@@ -199,9 +203,69 @@ def cut_cache_sizes() -> dict[str, int]:
         if info is not None:
             sizes[name] = int(info().currsize)
             continue
+        breakdown = getattr(cached, "cache_sizes", None)
+        if breakdown is not None:
+            for sub_name, size in breakdown().items():
+                sizes[sub_name] = int(size)
+            continue
         size_of = getattr(cached, "cache_size", None)
         sizes[name] = int(size_of()) if size_of is not None else 0
     return sizes
+
+
+# -- per-CutSet memo registry -------------------------------------------------
+
+#: Live :class:`CutSet` objects that have lazily attached memos (projected
+#: tables, match/function tables).  The memos normally die with their AIG,
+#: but a long-lived worker process pins optimized AIGs across jobs, so the
+#: engine's between-batch sweep also walks this registry; a ``WeakSet`` keeps
+#: the registry itself from pinning anything.
+_CUTSET_MEMOS: "weakref.WeakValueDictionary[int, CutSet]" = (
+    weakref.WeakValueDictionary()
+)
+
+#: The lazily attached per-:class:`CutSet` attributes the sweeper owns.
+_CUTSET_MEMO_FIELDS = ("_match_tables", "_function_tables", "_projected")
+
+
+def _track_cutset_memo(cut_set: "CutSet") -> None:
+    """Register a cut set that grew a lazily attached memo.
+
+    Keyed by ``id`` because cut sets (frozen dataclasses over arrays) are
+    unhashable; the weak values keep the registry from pinning them and drop
+    the entry when the cut set dies.
+    """
+    _CUTSET_MEMOS[id(cut_set)] = cut_set
+
+
+class _CutSetMemoSweeper:
+    """Folds the per-:class:`CutSet` memos into the cut-cache registry.
+
+    ``cache_clear`` drops the attached match/function/projected-table memos
+    of every live cut set; ``cache_sizes`` reports how many entries they
+    currently hold (the worker-footprint regression test reads these through
+    :func:`cut_cache_sizes`).
+    """
+
+    __name__ = "cutset_memos"
+
+    def cache_clear(self) -> None:
+        for cut_set in list(_CUTSET_MEMOS.values()):
+            for field_name in _CUTSET_MEMO_FIELDS:
+                cut_set.__dict__.pop(field_name, None)
+
+    def cache_size(self) -> int:
+        total = 0
+        for cut_set in list(_CUTSET_MEMOS.values()):
+            for field_name in _CUTSET_MEMO_FIELDS:
+                value = cut_set.__dict__.get(field_name)
+                if value is None:
+                    continue
+                total += len(value) if isinstance(value, dict) else 1
+        return total
+
+
+register_cut_cache(_CutSetMemoSweeper())
 
 
 @lru_cache(maxsize=1 << 16)
@@ -277,6 +341,30 @@ class CutSet:
                 self.support.tolist(),
             )
             object.__setattr__(self, "_python_view", cached)
+        return cached
+
+    def projected_tables(self) -> np.ndarray:
+        """Support-projected cut tables as a ``(nodes, slots)`` uint64 column.
+
+        Every valid slot's table is projected onto its true support
+        (:func:`repro.synthesis.cut_kernels.project_table_batch`) in one
+        batched pass -- full-support cuts project to themselves -- and the
+        column is memoized on the cut set, so the batched matching pipeline
+        of every (matcher, policy) pair reads the same array.  Invalid slots
+        hold zero.
+        """
+        cached = self.__dict__.get("_projected")
+        if cached is None:
+            cached = np.zeros(self.table.shape, dtype=np.uint64)
+            valid = (
+                np.arange(self.table.shape[1], dtype=np.int64)[None, :]
+                < self.count[:, None]
+            )
+            rows = np.nonzero(valid)
+            cached[rows] = project_table_batch(self.table[rows], self.support[rows])
+            cached.flags.writeable = False
+            object.__setattr__(self, "_projected", cached)
+            _track_cutset_memo(self)
         return cached
 
     def cuts_of(self, node: int) -> list[Cut]:

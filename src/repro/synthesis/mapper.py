@@ -51,6 +51,7 @@ per switching event) and normalized to the technology intrinsic delay
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
@@ -68,7 +69,12 @@ from repro.synthesis.cost import (
     cost_model_for,
     resolve_recovery,
 )
-from repro.synthesis.cuts import DEFAULT_CUT_LIMIT, DEFAULT_MAX_INPUTS, cut_set_for
+from repro.synthesis.cuts import (
+    DEFAULT_CUT_LIMIT,
+    DEFAULT_MAX_INPUTS,
+    _track_cutset_memo,
+    cut_set_for,
+)
 from repro.synthesis.matcher import CellMatch, _MatcherBase, matcher_for
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -240,6 +246,7 @@ def _candidates_for(
     if memo is None:
         memo = {}
         object.__setattr__(cut_set, "_match_tables", memo)
+        _track_cutset_memo(cut_set)
     key = (id(matcher), prefer)
     entry = memo.get(key)
     if entry is None or entry[0] is not matcher:
@@ -537,18 +544,29 @@ def _empty_candidate_table(arrays, max_inputs: int) -> CandidateTable:
     )
 
 
+def _scalar_match_forced() -> bool:
+    """Whether ``REPRO_SCALAR_MATCH`` pins the per-function scalar matcher
+    loop (parity/debugging escape hatch for the batched match pipeline)."""
+    return os.environ.get("REPRO_SCALAR_MATCH", "") not in ("", "0")
+
+
 def _build_candidate_table(
     arrays, cut_set, matcher: _MatcherBase, prefer: str
 ) -> CandidateTable:
     """Vectorized candidate-table construction (batched Boolean matching).
 
     The valid ``(node, slot)`` pairs are flattened as in
-    :func:`_build_candidates`, but the matcher is consulted once per
-    *distinct* ``(size, table)`` function (``np.unique``): large benchmarks
-    repeat a few hundred cut functions across tens of thousands of cuts, so
-    deduplication removes almost all memo lookups.  Row order is identical
-    to the scalar build (nodes ascending, slot order within a node), and no
-    :class:`MatchCandidate` objects are created -- see
+    :func:`_build_candidates` and the matcher is consulted once per
+    *distinct* ``(size, table)`` function.  With a matcher exposing the
+    columnar batch API (:meth:`LibraryMatcher.match_table`) the whole match
+    resolution is a handful of vector passes -- batched canonicalization,
+    one ``searchsorted`` per arity, vectorized transform composition -- and
+    the candidate columns are gathered straight out of the
+    :class:`~repro.synthesis.matcher.MatchTable`.  Other matchers (and
+    ``REPRO_SCALAR_MATCH=1``) fall back to the per-distinct-function scalar
+    ``match_positions`` loop, which is the pinned oracle.  Row order is
+    identical to the scalar build (nodes ascending, slot order within a
+    node), and no :class:`MatchCandidate` objects are created -- see
     :meth:`CandidateTable.candidate`.
     """
     and_nodes = arrays.and_nodes
@@ -562,59 +580,79 @@ def _build_candidate_table(
     nodes_rep = np.repeat(and_nodes, per_node)
     starts = np.concatenate(([0], np.cumsum(per_node)[:-1]))
     slots = np.arange(total) - np.repeat(starts, per_node)
-
-    sizes = cut_set.size[nodes_rep, slots].astype(np.uint64)
-    tables = cut_set.table[nodes_rep, slots]
-    supports = cut_set.support[nodes_rep, slots]
     cut_leaves = cut_set.leaves[nodes_rep, slots]
 
-    keys = np.empty((total, 2), dtype=np.uint64)
-    keys[:, 0] = sizes
-    keys[:, 1] = tables
-    distinct, first_index, inverse = np.unique(
-        keys, axis=0, return_index=True, return_inverse=True
-    )
-    inverse = inverse.reshape(-1)
+    if hasattr(matcher, "match_table") and not _scalar_match_forced():
+        match_table = matcher.match_table(cut_set, and_nodes, prefer)
+        inverse = match_table.inverse
+        matched = match_table.matched
+        widths = match_table.width
+        reduced = match_table.reduced
+        match_ids = match_table.match_index
+        cell_delay = match_table.delay
+        cell_area = match_table.area
+        cell_parasitic = match_table.parasitic
+        cell_effort = match_table.effort
+        matches = match_table.matches
+        positions = match_table.positions
+        if positions.shape[1] < max_inputs:
+            padded = np.zeros((positions.shape[0], max_inputs), dtype=np.int64)
+            padded[:, : positions.shape[1]] = positions
+            positions = padded
+        elif positions.shape[1] > max_inputs:
+            positions = positions[:, :max_inputs]
+    else:
+        sizes = cut_set.size[nodes_rep, slots].astype(np.uint64)
+        tables = cut_set.table[nodes_rep, slots]
+        supports = cut_set.support[nodes_rep, slots]
 
-    num_distinct = distinct.shape[0]
-    matched = np.zeros(num_distinct, dtype=bool)
-    positions = np.zeros((num_distinct, max_inputs), dtype=np.int64)
-    widths = np.zeros(num_distinct, dtype=np.int64)
-    reduced = np.zeros(num_distinct, dtype=np.uint64)
-    match_ids = np.zeros(num_distinct, dtype=np.int64)
-    cell_delay = np.zeros(num_distinct, dtype=np.float64)
-    cell_area = np.zeros(num_distinct, dtype=np.float64)
-    cell_parasitic = np.zeros(num_distinct, dtype=np.float64)
-    cell_effort = np.zeros(num_distinct, dtype=np.float64)
-    matches: list[CellMatch] = []
-
-    match_positions = matcher.match_positions
-    size_list = distinct[:, 0].tolist()
-    table_list = distinct[:, 1].tolist()
-    support_list = supports[first_index].tolist()
-    for index in range(num_distinct):
-        found = match_positions(
-            size_list[index],
-            table_list[index],
-            prefer=prefer,
-            support_mask=support_list[index],
+        keys = np.empty((total, 2), dtype=np.uint64)
+        keys[:, 0] = sizes
+        keys[:, 1] = tables
+        distinct, first_index, inverse = np.unique(
+            keys, axis=0, return_index=True, return_inverse=True
         )
-        if found is None:
-            continue
-        match, match_pos, match_table = found
-        matched[index] = True
-        widths[index] = len(match_pos)
-        positions[index, : len(match_pos)] = match_pos
-        reduced[index] = match_table
-        match_ids[index] = len(matches)
-        matches.append(match)
-        cell = match.cell
-        fo4 = cell.delay.fo4_average
-        parasitic = cell.delay.parasitic_output
-        cell_delay[index] = fo4
-        cell_area[index] = cell.area
-        cell_parasitic[index] = parasitic
-        cell_effort[index] = max(fo4 - parasitic, 0.0) / 4.0
+        inverse = inverse.reshape(-1)
+
+        num_distinct = distinct.shape[0]
+        matched = np.zeros(num_distinct, dtype=bool)
+        positions = np.zeros((num_distinct, max_inputs), dtype=np.int64)
+        widths = np.zeros(num_distinct, dtype=np.int64)
+        reduced = np.zeros(num_distinct, dtype=np.uint64)
+        match_ids = np.zeros(num_distinct, dtype=np.int64)
+        cell_delay = np.zeros(num_distinct, dtype=np.float64)
+        cell_area = np.zeros(num_distinct, dtype=np.float64)
+        cell_parasitic = np.zeros(num_distinct, dtype=np.float64)
+        cell_effort = np.zeros(num_distinct, dtype=np.float64)
+        matches = []
+
+        match_positions = matcher.match_positions
+        size_list = distinct[:, 0].tolist()
+        table_list = distinct[:, 1].tolist()
+        support_list = supports[first_index].tolist()
+        for index in range(num_distinct):
+            found = match_positions(
+                size_list[index],
+                table_list[index],
+                prefer=prefer,
+                support_mask=support_list[index],
+            )
+            if found is None:
+                continue
+            match, match_pos, match_table_bits = found
+            matched[index] = True
+            widths[index] = len(match_pos)
+            positions[index, : len(match_pos)] = match_pos
+            reduced[index] = match_table_bits
+            match_ids[index] = len(matches)
+            matches.append(match)
+            cell = match.cell
+            fo4 = cell.delay.fo4_average
+            parasitic = cell.delay.parasitic_output
+            cell_delay[index] = fo4
+            cell_area[index] = cell.area
+            cell_parasitic[index] = parasitic
+            cell_effort[index] = max(fo4 - parasitic, 0.0) / 4.0
 
     kept = np.nonzero(matched[inverse])[0]
     ref = inverse[kept]
@@ -659,6 +697,7 @@ def _candidate_table_for(
     if memo is None:
         memo = {}
         object.__setattr__(cut_set, "_match_tables", memo)
+        _track_cutset_memo(cut_set)
     key = ("batched", id(matcher), prefer)
     entry = memo.get(key)
     if entry is None or entry[0] is not matcher:

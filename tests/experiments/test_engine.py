@@ -469,6 +469,64 @@ class TestSharedMemoryTransport:
         assert len(published) == len(names)  # one segment per distinct subject
         assert shm.published_count() == 0  # released in the engine's finally
 
+    def test_published_handle_carries_match_index(self):
+        """Publishing ships the cut set's distinct-function match index
+        (``fn_*`` segments); a worker-side resolve pre-installs it so the
+        mapper never re-canonicalizes the subject's cut functions."""
+        import numpy as np
+
+        from repro.experiments import shm
+        from repro.flow import run_flow
+        from repro.synthesis.aig_array import aig_arrays
+        from repro.synthesis.cuts import cut_set_for
+        from repro.synthesis.matcher import cut_function_table
+
+        aig = run_flow("resyn2rs", benchmark_by_name("add-16").build()).aig
+        arrays = aig_arrays(aig)
+        cut_set = cut_set_for(aig)
+        key = f"{aig_fingerprint(aig)}:{cut_set.max_inputs}:{cut_set.cut_limit}"
+        try:
+            handle = shm.publish_subject(key, aig, arrays, cut_set)
+        except OSError:
+            pytest.skip("no usable shared memory on this platform")
+        try:
+            fields = {segment[0] for segment in handle.segments}
+            assert {"fn_inverse", "fn_canon", "fn_cut_perm"} <= fields
+            parent_table = cut_function_table(cut_set, arrays.and_nodes)
+            shm._LOCAL.pop(key)  # simulate a worker: force the attach path
+            rebuilt = shm.resolve_subject(handle)
+            rebuilt_cuts = cut_set_for(rebuilt)
+            installed = rebuilt_cuts.__dict__.get("_function_tables", {})
+            assert True in installed
+            worker_table = installed[True]
+            assert np.array_equal(worker_table.inverse, parent_table.inverse)
+            assert np.array_equal(worker_table.canon, parent_table.canon)
+            assert np.array_equal(worker_table.cut_perm, parent_table.cut_perm)
+            assert np.array_equal(worker_table.cut_phase, parent_table.cut_phase)
+            assert np.array_equal(worker_table.reduced, parent_table.reduced)
+            # The memoized entry is what the matcher consumes -- no rebuild.
+            assert (
+                cut_function_table(rebuilt_cuts, aig_arrays(rebuilt).and_nodes)
+                is worker_table
+            )
+        finally:
+            shm.drop_attachments()
+            shm.release_subjects()
+
+    def test_jobs4_with_match_index_is_byte_identical(self):
+        """jobs=4 mapping through the shm-published match index must produce
+        a byte-identical Table-3 artifact payload to the jobs=1 path."""
+        names = ("add-16", "t481")
+        parallel = ExperimentEngine(jobs=4, use_cache=False).run_table3(
+            benchmark_names=names, families=FAMILIES
+        )
+        sequential = ExperimentEngine(jobs=1, use_cache=False).run_table3(
+            benchmark_names=names, families=FAMILIES
+        )
+        assert json.dumps(
+            table3_payload(sequential), indent=2, sort_keys=True
+        ) == json.dumps(table3_payload(parallel), indent=2, sort_keys=True)
+
     def test_worker_cache_epoch_keeps_memos_bounded(self):
         """A long-lived worker must drop its per-process memos when the cache
         epoch rolls over, instead of accumulating them across job batches."""
